@@ -1,0 +1,47 @@
+"""F7 — Figure 7: the saxpy kernel itself.
+
+    void saxpy_kernel(float* r, float* x, float* y, int size) {
+        for (int i = 0; i < size; ++i) r[i] = A * x[i] + y[i];
+    }
+
+Benchmarks the real vectorized kernel across the paper's experiment sizes
+(n = 512, 1024 from Figure 10) and a large size, verifying numerical
+correctness and the expected memory-bandwidth-bound behaviour (time grows
+~linearly with n once out of cache-latency noise).
+"""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.saxpy import A, run_saxpy, saxpy_kernel
+
+
+@pytest.mark.parametrize("n", [512, 1024, 1 << 20])
+def test_figure7_kernel(benchmark, n):
+    rng = np.random.default_rng(n)
+    x = rng.random(n, dtype=np.float32)
+    y = rng.random(n, dtype=np.float32)
+    r = np.empty_like(x)
+
+    benchmark(saxpy_kernel, r, x, y)
+    np.testing.assert_allclose(r, A * x + y, rtol=1e-6)
+
+
+def test_saxpy_benchmark_report(artifact):
+    lines = ["saxpy benchmark across Figure 10 problem sizes:", ""]
+    for n in (512, 1024, 1 << 16, 1 << 20):
+        res = run_saxpy(n, repeats=5)
+        assert res.correct
+        lines.append(f"n={n:<9} time={res.kernel_seconds:.3e}s "
+                     f"bandwidth={res.bandwidth_gbs:8.2f} GB/s "
+                     f"checksum={res.checksum:.6e}")
+    lines.append("")
+    lines.append(run_saxpy(1024).report())
+    artifact("fig7_saxpy_kernel", "\n".join(lines))
+
+
+def test_kernel_time_scales_with_n():
+    small = run_saxpy(1 << 16, repeats=5).kernel_seconds
+    large = run_saxpy(1 << 22, repeats=5).kernel_seconds
+    # 64x the data should cost at least ~8x the time (allowing cache effects)
+    assert large > small * 8

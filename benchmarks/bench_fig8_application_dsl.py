@@ -1,0 +1,56 @@
+"""F8 — Figure 8: the Ramble application.py for saxpy.
+
+Checks the transcription of the paper's application definition field by
+field, then benchmarks the analysis path it feeds: figure-of-merit regex
+extraction and success-criteria evaluation over a real experiment log.
+"""
+
+from repro.benchmarks.saxpy import run_saxpy
+from repro.ramble.analysis import extract_foms
+from repro.ramble.apps import Saxpy
+
+
+def test_figure8_definition_matches_paper(artifact):
+    # executable('p', 'saxpy -n {n}', use_mpi=True)
+    exe = Saxpy.executables["p"]
+    assert (exe.name, exe.command, exe.use_mpi) == ("p", "saxpy -n {n}", True)
+    # workload('problem', executables=['p'])
+    assert Saxpy.workloads["problem"].executables == ["p"]
+    # workload_variable('n', default='1', description='problem size', ...)
+    var = Saxpy.workloads["problem"].variables["n"]
+    assert (var.default, var.description) == ("1", "problem size")
+    # figure_of_merit("success", fom_regex=r'(?P<done>Kernel done)', ...)
+    fom = Saxpy.figures_of_merit["success"]
+    assert fom.fom_regex == r"(?P<done>Kernel done)"
+    assert fom.group_name == "done"
+    # success_criteria('pass', mode='string', match=r'Kernel done', ...)
+    crit = Saxpy.success_criteria["pass"]
+    assert crit.mode == "string" and crit.match == r"Kernel done"
+    assert crit.file == "{experiment_run_dir}/{experiment_name}.out"
+
+    artifact("fig8_application_dsl", "\n".join([
+        "Figure 8 application.py (transcribed):",
+        f"  executable('p', {exe.command!r}, use_mpi={exe.use_mpi})",
+        f"  workload('problem', executables={Saxpy.workloads['problem'].executables})",
+        f"  workload_variable('n', default={var.default!r}, "
+        f"description={var.description!r})",
+        f"  figure_of_merit('success', fom_regex={fom.fom_regex!r})",
+        f"  success_criteria('pass', mode='string', match={crit.match!r})",
+    ]))
+
+
+def test_fom_extraction_throughput(benchmark):
+    """Analysis cost matters at continuous-benchmarking scale: thousands of
+    logs per day.  Benchmark extraction over a realistic log."""
+    log = "\n".join(run_saxpy(4096).report() for _ in range(50))
+
+    foms = benchmark(extract_foms, Saxpy, log)
+    assert sum(1 for f in foms if f["name"] == "success") == 50
+    assert sum(1 for f in foms if f["name"] == "bandwidth") == 50
+
+
+def test_success_criteria_on_real_output(benchmark):
+    text = run_saxpy(1024).report()
+    crit = Saxpy.success_criteria["pass"]
+    assert benchmark(crit.check_text, text)
+    assert not crit.check_text("Segmentation fault")

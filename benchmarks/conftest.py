@@ -1,0 +1,28 @@
+"""Shared fixtures for the reproduction bench harness.
+
+Every bench regenerates one of the paper's tables/figures (DESIGN.md §4)
+and times a representative operation with pytest-benchmark.  Regenerated
+artifacts are written to ``benchmarks/artifacts/<name>.txt`` so
+EXPERIMENTS.md can point at concrete outputs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+ARTIFACTS_DIR = Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture
+def artifact():
+    """artifact(name, text) — persist a regenerated table/figure."""
+    ARTIFACTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> Path:
+        path = ARTIFACTS_DIR / f"{name}.txt"
+        path.write_text(text if text.endswith("\n") else text + "\n")
+        return path
+
+    return write

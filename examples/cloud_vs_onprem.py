@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Reproducing the §7.1 collaboration story: on-premise vs cloud divergence.
+
+The paper recounts moving "a few simple benchmark kernels between an
+on-premise supercomputer and cloud instances of similar architecture" —
+and a microbenchmark that worked on one system crashed on the other because
+of "a bug in the underlying math library related to a specific hardware
+feature (which was missing in the cloud)".
+
+This example shows how Benchpark makes that failure *visible and
+attributable* instead of a weeks-long human hunt:
+
+1. the same benchmark suite runs on cts1 (on-prem, broadwell) and
+   cloud-c6i (icelake) from identical experiment specifications;
+2. archspec exposes exactly which hardware features differ between the two
+   targets — the class of root cause in the paper's anecdote;
+3. both runs carry full manifests, so the performance comparison (and any
+   divergence) is pinned to a reproducible specification.
+
+Usage:  python examples/cloud_vs_onprem.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.archspec import get_target
+from repro.ci import MetricsDatabase
+from repro.core import benchpark_setup
+from repro.analysis import render_grid
+
+SYSTEMS = ("cts1", "cloud-c6i")
+EXPERIMENT = "stream/openmp"
+
+
+def main() -> int:
+    db = MetricsDatabase()
+
+    print(f"running {EXPERIMENT} on {', '.join(SYSTEMS)} from the same "
+          f"experiment specification\n")
+    with tempfile.TemporaryDirectory() as tmp:
+        for system in SYSTEMS:
+            session = benchpark_setup(EXPERIMENT, system,
+                                      Path(tmp) / f"ws-{system}")
+            results = session.run_all()
+            db.ingest_analysis(system, results)
+            ok = all(e["status"] == "SUCCESS" for e in results["experiments"])
+            print(f"  {system}: {len(results['experiments'])} experiments, "
+                  f"{'all SUCCESS' if ok else 'FAILURES'}")
+
+    # -- performance comparison -------------------------------------------
+    print("\nSTREAM Triad bandwidth (MB/s), identical specs on both systems:")
+    rows = sorted({r.experiment for r in db.query(fom_name="triad_bw")})
+    cells = {
+        (r.experiment, r.system): float(r.value)
+        for r in db.query(fom_name="triad_bw")
+    }
+    print(render_grid(rows, list(SYSTEMS), cells))
+
+    # -- the archspec diagnosis ---------------------------------------------
+    onprem = get_target("broadwell")
+    cloud = get_target("icelake")
+    missing_in_onprem = sorted(cloud.features - onprem.features)
+    missing_in_cloud = sorted(onprem.features - cloud.features)
+    print("\narchspec feature diff (the paper's root-cause class — a math "
+          "library keyed on a feature absent on one side):")
+    print(f"  on cloud-c6i (icelake) but not cts1 (broadwell): "
+          f"{', '.join(missing_in_onprem[:8])}")
+    print(f"  on cts1 but not cloud-c6i: "
+          f"{missing_in_cloud or '(none — icelake is a superset here)'}")
+
+    # A library built for the on-prem target runs in the cloud only if the
+    # cloud target is compatible; archspec answers that directly.
+    compatible = cloud >= onprem
+    print(f"\ncan a broadwell-optimized binary run on icelake?  "
+          f"{'yes' if compatible else 'no'} (archspec partial order)")
+    print("Every run above carries its full manifest, so this comparison is "
+          "reproducible by any collaborator — the §7.1 debugging loop "
+          "collapses from weeks of cross-site email to one diff.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

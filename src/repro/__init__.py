@@ -1,0 +1,18 @@
+"""repro — reproduction of "Towards Collaborative Continuous Benchmarking
+for HPC" (SC-W 2023): the Benchpark framework plus every substrate it
+composes (mini-Spack, mini-Ramble, archspec, simulated HPC systems, real
+benchmark kernels, the CI automation loop, and the analysis stack).
+
+Top-level subpackages:
+
+* :mod:`repro.core` — Benchpark itself (the paper's contribution)
+* :mod:`repro.spack` — reproducible build instructions (§3.1)
+* :mod:`repro.archspec` — microarchitecture detection (§3.1.3)
+* :mod:`repro.ramble` — reproducible run instructions (§3.2)
+* :mod:`repro.systems` — simulated HPC systems (cts1/ats2/ats4, §4)
+* :mod:`repro.benchmarks` — runnable saxpy/AMG/STREAM/OSU kernels (§4)
+* :mod:`repro.ci` — Hubcast/Jacamar/GitLab automation (§3.3)
+* :mod:`repro.analysis` — Caliper/Adiak/Thicket/Extra-P (§5)
+"""
+
+__version__ = "1.0.0"

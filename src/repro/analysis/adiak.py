@@ -1,0 +1,46 @@
+"""Mini-Adiak: run metadata collection (§5, [20]).
+
+"We will use Adiak to collect metadata related to the build settings and
+execution contexts, enabling filtering and sorting of collected profiles."
+Adiak's model is a process-global name → value store populated by the
+application and harvested by Caliper at flush time; Thicket later filters
+and groups profiles by these keys.
+"""
+
+from __future__ import annotations
+
+import getpass
+import platform
+from typing import Any, Dict
+
+__all__ = ["value", "collected", "clear", "collect_default"]
+
+_store: Dict[str, Any] = {}
+
+
+def value(name: str, val: Any) -> None:
+    """Register one metadata value (``adiak::value``)."""
+    if not name:
+        raise ValueError("metadata name must be non-empty")
+    _store[name] = val
+
+
+def collected() -> Dict[str, Any]:
+    """Snapshot of all registered metadata."""
+    return dict(_store)
+
+
+def clear() -> None:
+    _store.clear()
+
+
+def collect_default() -> Dict[str, Any]:
+    """Adiak's 'collect all' convenience: host/user/platform facts plus
+    whatever the application registered."""
+    value("hostname", platform.node())
+    value("python", platform.python_version())
+    try:
+        value("user", getpass.getuser())
+    except (KeyError, OSError):  # no passwd entry in some containers
+        value("user", "unknown")
+    return collected()

@@ -1,0 +1,108 @@
+"""Failure diagnosis — from *detecting* a regression to *naming* the
+failing subsystem (§1: "diagnosing hardware failures").
+
+Different hardware faults leave different fingerprints across a benchmark
+suite's FOMs:
+
+==================  ==========================================================
+subsystem           fingerprint
+==================  ==========================================================
+memory              memory-bound FOMs drop (STREAM rates, saxpy bandwidth);
+                    network FOMs steady
+network             communication FOMs degrade (collective total_time rises);
+                    single-node memory/compute FOMs steady
+compute             compute-bound FOMs drop (AMG FOM_Setup/FOM_Solve) while
+                    pure-bandwidth FOMs hold
+==================  ==========================================================
+
+:func:`diagnose` matches the set of regression events from a suite-wide
+scan against these signatures and returns ranked hypotheses.  This is the
+payoff of running a *suite* continuously rather than one benchmark: the
+cross-benchmark pattern is what localizes the fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from .regression import RegressionEvent
+
+__all__ = ["FailureHypothesis", "diagnose", "FOM_SUBSYSTEMS"]
+
+#: FOM name → the hardware subsystem whose health it reflects.
+FOM_SUBSYSTEMS: Dict[str, str] = {
+    # memory-bound
+    "triad_bw": "memory",
+    "copy_bw": "memory",
+    "bandwidth": "memory",
+    "kernel_time": "memory",
+    # network-bound
+    "total_time": "network",
+    "latency_8b": "network",
+    # compute-bound (AMG is memory/compute mixed; setup leans compute)
+    "fom_setup": "compute",
+    "fom_solve": "compute",
+    "fom_segments": "compute",
+}
+
+
+@dataclass
+class FailureHypothesis:
+    """One candidate explanation for a set of regressions."""
+
+    subsystem: str
+    confidence: float  # fraction of that subsystem's FOMs that regressed
+    evidence: List[RegressionEvent] = field(default_factory=list)
+    first_epoch: float = 0.0
+
+    def __str__(self):
+        return (f"{self.subsystem} fault suspected "
+                f"(confidence {self.confidence:.0%}, "
+                f"first seen at epoch {self.first_epoch:g}; "
+                f"evidence: {[e.metric for e in self.evidence]})")
+
+
+def _fom_of(event: RegressionEvent) -> str:
+    """Regression metrics look like 'benchmark/system/fom'; keep the fom."""
+    return event.metric.rsplit("/", 1)[-1]
+
+
+def diagnose(
+    events: Sequence[RegressionEvent],
+    observed_foms: Sequence[str],
+) -> List[FailureHypothesis]:
+    """Rank subsystem-fault hypotheses for a set of regression events.
+
+    ``observed_foms`` is the full set of FOMs the suite monitors — needed to
+    distinguish "memory FOMs regressed" from "memory FOMs were the only
+    thing we measured".  Confidence = regressed-FOMs / monitored-FOMs of
+    that subsystem; subsystems with no regressed FOM are omitted.
+    """
+    monitored: Dict[str, Set[str]] = {}
+    for fom in observed_foms:
+        subsystem = FOM_SUBSYSTEMS.get(fom)
+        if subsystem:
+            monitored.setdefault(subsystem, set()).add(fom)
+
+    regressed: Dict[str, Dict[str, List[RegressionEvent]]] = {}
+    for event in events:
+        fom = _fom_of(event)
+        subsystem = FOM_SUBSYSTEMS.get(fom)
+        if subsystem is None:
+            continue
+        regressed.setdefault(subsystem, {}).setdefault(fom, []).append(event)
+
+    hypotheses: List[FailureHypothesis] = []
+    for subsystem, fom_events in regressed.items():
+        monitored_count = len(monitored.get(subsystem, set())) or len(fom_events)
+        evidence = [e for lst in fom_events.values() for e in lst]
+        hypotheses.append(
+            FailureHypothesis(
+                subsystem=subsystem,
+                confidence=len(fom_events) / monitored_count,
+                evidence=evidence,
+                first_epoch=min(e.epoch for e in evidence),
+            )
+        )
+    return sorted(hypotheses, key=lambda h: -h.confidence)

@@ -1,0 +1,93 @@
+"""Scaling-study analysis: speedup, efficiency, and regime classification.
+
+§6 contrasts "strong-scaling vs. weak-scaling applications"; a continuous-
+benchmarking repository accumulates exactly the series these studies need.
+Given (resource count, time) or (resource count, throughput) measurements:
+
+* :func:`strong_scaling` — fixed total problem: speedup S(p) = t(p₀)/t(p),
+  efficiency E(p) = S(p)·p₀/p;
+* :func:`weak_scaling` — fixed per-resource problem: efficiency
+  E(p) = t(p₀)/t(p) (ideal = flat);
+* :func:`classify_scaling` — labels a strong-scaling series by where its
+  efficiency falls off (the "scaling limit"), using a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["ScalingPoint", "strong_scaling", "weak_scaling", "classify_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    p: float
+    time: float
+    speedup: float
+    efficiency: float
+
+
+def _validated(series: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    pts = sorted(series)
+    if len(pts) < 2:
+        raise ValueError("scaling analysis needs at least 2 points")
+    if any(p <= 0 or t <= 0 for p, t in pts):
+        raise ValueError("resource counts and times must be positive")
+    if len({p for p, _ in pts}) != len(pts):
+        raise ValueError("duplicate resource counts; aggregate repeats first")
+    return pts
+
+
+def strong_scaling(series: Sequence[Tuple[float, float]]) -> List[ScalingPoint]:
+    """(p, time) series with fixed total work → speedup/efficiency table,
+    relative to the smallest measured p."""
+    pts = _validated(series)
+    p0, t0 = pts[0]
+    out = []
+    for p, t in pts:
+        speedup = t0 / t
+        out.append(ScalingPoint(
+            p=p, time=t, speedup=speedup, efficiency=speedup * p0 / p))
+    return out
+
+
+def weak_scaling(series: Sequence[Tuple[float, float]]) -> List[ScalingPoint]:
+    """(p, time) series with fixed per-p work → efficiency table (ideal:
+    time stays flat, efficiency 1.0)."""
+    pts = _validated(series)
+    _, t0 = pts[0]
+    out = []
+    for p, t in pts:
+        eff = t0 / t
+        out.append(ScalingPoint(p=p, time=t, speedup=eff * p / pts[0][0],
+                                efficiency=eff))
+    return out
+
+
+def classify_scaling(
+    series: Sequence[Tuple[float, float]],
+    efficiency_floor: float = 0.5,
+) -> dict:
+    """Find a strong-scaling series' useful limit: the largest p whose
+    efficiency is still ≥ the floor, plus a coarse label."""
+    if not (0.0 < efficiency_floor <= 1.0):
+        raise ValueError("efficiency_floor must be in (0, 1]")
+    table = strong_scaling(series)
+    good = [pt for pt in table if pt.efficiency >= efficiency_floor]
+    limit = max(good, key=lambda pt: pt.p) if good else table[0]
+    last = table[-1]
+    if last.efficiency >= 0.8:
+        label = "scales well"
+    elif last.efficiency >= efficiency_floor:
+        label = "scales with losses"
+    elif last.speedup <= 1.0:
+        label = "does not scale (slows down)"
+    else:
+        label = "scaling limited"
+    return {
+        "label": label,
+        "scaling_limit_p": limit.p,
+        "efficiency_at_max_p": last.efficiency,
+        "table": table,
+    }

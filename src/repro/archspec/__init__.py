@@ -1,0 +1,17 @@
+"""Mini-archspec: microarchitecture detection, labeling and reasoning
+(paper §3.1.3, reference [7])."""
+
+from .database import TARGETS, compatible_targets, get_target
+from .detect import detect_from_cpuinfo, detect_from_features, detect_host
+from .microarch import Microarchitecture, UnsupportedMicroarchitecture
+
+__all__ = [
+    "Microarchitecture",
+    "TARGETS",
+    "UnsupportedMicroarchitecture",
+    "compatible_targets",
+    "detect_from_cpuinfo",
+    "detect_from_features",
+    "detect_host",
+    "get_target",
+]

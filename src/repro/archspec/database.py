@@ -1,0 +1,171 @@
+"""The microarchitecture database — a curated slice of archspec's
+``microarchitectures.json`` covering every CPU the paper's systems use:
+
+* **cts1**: Intel Xeon (broadwell/cascadelake lineage);
+* **ats2**: IBM Power9;
+* **ats4 EAS**: AMD Trento (zen3);
+* cloud instances: zen2/zen3, icelake, graviton (neoverse), a64fx.
+
+The DAG edges encode binary compatibility; compiler entries encode the
+minimum compiler version and the flags that optimize for each target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .microarch import Microarchitecture, UnsupportedMicroarchitecture
+
+__all__ = ["TARGETS", "get_target", "compatible_targets", "UnsupportedMicroarchitecture"]
+
+
+def _gcc(versions: str, flags: str, name: str = "") -> Dict[str, str]:
+    d = {"versions": versions, "flags": flags}
+    if name:
+        d["name"] = name
+    return d
+
+
+def _build_database() -> Dict[str, Microarchitecture]:
+    db: Dict[str, Microarchitecture] = {}
+
+    def add(name, parents=(), vendor="generic", features=(), generation=0, compilers=None):
+        db[name] = Microarchitecture(
+            name,
+            parents=tuple(db[p] for p in parents),
+            vendor=vendor,
+            features=features,
+            generation=generation,
+            compilers=compilers or {},
+        )
+
+    # ----- x86_64 family ---------------------------------------------------
+    add(
+        "x86_64",
+        vendor="generic",
+        features=["mmx", "sse", "sse2"],
+        compilers={"gcc": [_gcc(":", "-march={name} -mtune=generic")],
+                   "clang": [_gcc(":", "-march={name} -mtune=generic")],
+                   "intel": [_gcc(":", "-xSSE2")]},
+    )
+    add(
+        "x86_64_v2", ["x86_64"],
+        features=["ssse3", "sse4_1", "sse4_2", "popcnt"],
+        compilers={"gcc": [_gcc("11:", "-march=x86-64-v2 -mtune=generic")]},
+    )
+    add(
+        "x86_64_v3", ["x86_64_v2"],
+        features=["avx", "avx2", "bmi1", "bmi2", "fma"],
+        compilers={"gcc": [_gcc("11:", "-march=x86-64-v3 -mtune=generic")]},
+    )
+    add(
+        "x86_64_v4", ["x86_64_v3"],
+        features=["avx512f", "avx512bw", "avx512cd", "avx512dq", "avx512vl"],
+        compilers={"gcc": [_gcc("11:", "-march=x86-64-v4 -mtune=generic")]},
+    )
+    add(
+        "haswell", ["x86_64_v3"], vendor="GenuineIntel",
+        features=["movbe", "rdrand"],
+        compilers={"gcc": [_gcc("4.8:", "-march={name} -mtune={name}")]},
+    )
+    add(
+        "broadwell", ["haswell"], vendor="GenuineIntel",
+        features=["adx", "rdseed"],
+        compilers={"gcc": [_gcc("4.9:", "-march={name} -mtune={name}")]},
+    )
+    add(
+        "skylake_avx512", ["broadwell", "x86_64_v4"], vendor="GenuineIntel",
+        features=["clwb"],
+        compilers={"gcc": [_gcc("6:", "-march=skylake-avx512 -mtune=skylake-avx512")]},
+    )
+    add(
+        "cascadelake", ["skylake_avx512"], vendor="GenuineIntel",
+        features=["avx512_vnni"],
+        compilers={"gcc": [_gcc("9:", "-march={name} -mtune={name}")]},
+    )
+    add(
+        "icelake", ["cascadelake"], vendor="GenuineIntel",
+        features=["avx512_vbmi2", "gfni", "vaes"],
+        compilers={"gcc": [_gcc("8:", "-march=icelake-server -mtune=icelake-server")]},
+    )
+    add(
+        "zen2", ["x86_64_v3"], vendor="AuthenticAMD", generation=2,
+        features=["clzero", "rdpid", "wbnoinvd"],
+        compilers={"gcc": [_gcc("9:", "-march=znver2 -mtune=znver2")]},
+    )
+    add(
+        "zen3", ["zen2"], vendor="AuthenticAMD", generation=3,
+        features=["vaes", "vpclmulqdq", "pku"],
+        compilers={
+            "gcc": [
+                _gcc("10.3:", "-march=znver3 -mtune=znver3"),
+                _gcc("9:10.2", "-march=znver2 -mtune=znver2"),
+            ],
+            "clang": [_gcc("12:", "-march=znver3 -mtune=znver3")],
+        },
+    )
+    # AMD Trento (ats4 EAS host CPU) is a zen3 derivative for HPC sockets.
+    add(
+        "zen3_trento", ["zen3"], vendor="AuthenticAMD", generation=3,
+        features=["xgmi"],
+        compilers={"gcc": [_gcc("10.3:", "-march=znver3 -mtune=znver3")]},
+    )
+
+    # ----- ppc64le family -----------------------------------------------------
+    add(
+        "ppc64le", vendor="generic", generation=8,
+        compilers={"gcc": [_gcc(":", "-mcpu=power8 -mtune=power8")]},
+    )
+    add(
+        "power8le", ["ppc64le"], vendor="IBM", generation=8,
+        features=["altivec", "vsx"],
+        compilers={"gcc": [_gcc("4.9:", "-mcpu=power8 -mtune=power8")]},
+    )
+    add(
+        "power9le", ["power8le"], vendor="IBM", generation=9,
+        features=["darn", "ieee128"],
+        compilers={"gcc": [_gcc("6:", "-mcpu=power9 -mtune=power9")]},
+    )
+
+    # ----- aarch64 family -------------------------------------------------------
+    add(
+        "aarch64", vendor="generic",
+        features=["fp", "asimd"],
+        compilers={"gcc": [_gcc(":", "-march=armv8-a -mtune=generic")]},
+    )
+    add(
+        "neoverse_n1", ["aarch64"], vendor="ARM",
+        features=["atomics", "fphp", "asimdhp", "dotprod"],
+        compilers={"gcc": [_gcc("9:", "-mcpu=neoverse-n1")]},
+    )
+    add(
+        "neoverse_v1", ["neoverse_n1"], vendor="ARM",
+        features=["sve", "bf16", "i8mm"],
+        compilers={"gcc": [_gcc("10.2:", "-mcpu=neoverse-v1")]},
+    )
+    add(
+        "a64fx", ["aarch64"], vendor="Fujitsu",
+        features=["sve", "fcma", "fphp"],
+        compilers={"gcc": [_gcc("11:", "-mcpu=a64fx"), _gcc("8:10", "-march=armv8.2-a+sve")]},
+    )
+
+    return db
+
+
+TARGETS: Dict[str, Microarchitecture] = _build_database()
+
+
+def get_target(name: str) -> Microarchitecture:
+    try:
+        return TARGETS[name]
+    except KeyError:
+        raise UnsupportedMicroarchitecture(
+            f"unknown microarchitecture {name!r}; known: {sorted(TARGETS)}"
+        ) from None
+
+
+def compatible_targets(name: str) -> List[Microarchitecture]:
+    """All targets whose binaries run on ``name`` (self + ancestors),
+    ordered most-specific first — archspec's compatibility query."""
+    uarch = get_target(name)
+    return [uarch] + uarch.ancestors

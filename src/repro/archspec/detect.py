@@ -1,0 +1,79 @@
+"""Host microarchitecture detection.
+
+Archspec's second role in the paper (§3.1.3): "determine the system
+architecture".  Real archspec reads ``/proc/cpuinfo``; we support that *and*
+detection from a simulated :class:`~repro.systems.descriptor.SystemDescriptor`
+(whose CPUs are cts1/ats2/ats4-class machines we cannot run on).
+
+Detection strategy mirrors archspec: gather the host's vendor and feature
+flags, then pick the most specific database entry whose features are all
+present.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .database import TARGETS, get_target
+from .microarch import Microarchitecture
+
+__all__ = ["detect_host", "detect_from_features", "detect_from_cpuinfo"]
+
+
+def detect_from_features(
+    vendor: str, features: Iterable[str], family: str = "x86_64"
+) -> Microarchitecture:
+    """Best (most specific) target whose required features are all present."""
+    feature_set = set(features)
+    family_root = get_target(family)
+    candidates = []
+    for uarch in TARGETS.values():
+        if uarch.family != family_root:
+            continue
+        if uarch.vendor not in ("generic", vendor):
+            continue
+        if uarch.features <= feature_set:
+            candidates.append(uarch)
+    if not candidates:
+        return family_root
+    # Most specific = most ancestors, tie-broken by newest generation and
+    # non-generic vendor.
+    return max(
+        candidates,
+        key=lambda u: (len(u.ancestors), u.generation, u.vendor != "generic"),
+    )
+
+
+def detect_from_cpuinfo(text: Optional[str] = None) -> Microarchitecture:
+    """Detect from /proc/cpuinfo content (reads the real file when None)."""
+    if text is None:
+        path = Path("/proc/cpuinfo")
+        if not path.exists():
+            return get_target("x86_64")
+        text = path.read_text()
+
+    vendor = "generic"
+    features: set = set()
+    m = re.search(r"^vendor_id\s*:\s*(\S+)", text, re.MULTILINE)
+    if m:
+        vendor = m.group(1)
+    m = re.search(r"^flags\s*:\s*(.+)$", text, re.MULTILINE)
+    if m:
+        features = set(m.group(1).split())
+        return detect_from_features(vendor, features, family="x86_64")
+    # ppc64le cpuinfo has a "cpu:" line instead of flags
+    m = re.search(r"^cpu\s*:\s*POWER(\d+)", text, re.MULTILINE)
+    if m:
+        return get_target(f"power{m.group(1)}le")
+    # aarch64 has "Features"
+    m = re.search(r"^Features\s*:\s*(.+)$", text, re.MULTILINE)
+    if m:
+        return detect_from_features("ARM", set(m.group(1).split()), family="aarch64")
+    return get_target("x86_64")
+
+
+def detect_host() -> Microarchitecture:
+    """Detect the actual host this library is running on."""
+    return detect_from_cpuinfo(None)

@@ -1,0 +1,148 @@
+"""Microarchitecture model — mini-archspec (paper §3.1.3, reference [7]).
+
+Archspec "detects, labels, and reasons about" CPU microarchitectures.  The
+core abstraction is a :class:`Microarchitecture`: a named vertex in a
+compatibility DAG whose ancestors are the architectures it can execute code
+for.  ``zen3 >= x86_64_v3`` means a zen3 core runs x86_64_v3 binaries.
+
+Spack uses this in two ways the paper calls out:
+
+1. tailoring build recipes to the target (optimization flags), and
+2. deciding which binaries (or alternate sources) are compatible with a host.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["Microarchitecture", "UnsupportedMicroarchitecture"]
+
+
+class UnsupportedMicroarchitecture(ValueError):
+    pass
+
+
+class Microarchitecture:
+    """A named microarchitecture in the compatibility DAG.
+
+    Comparison operators express the *can execute* partial order:
+    ``a >= b`` means binaries targeted at ``b`` run on ``a``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parents: Sequence["Microarchitecture"] = (),
+        vendor: str = "generic",
+        features: Iterable[str] = (),
+        generation: int = 0,
+        compilers: Optional[Dict[str, List[Dict[str, str]]]] = None,
+    ):
+        self.name = name
+        self.parents = tuple(parents)
+        self.vendor = vendor
+        #: CPU features this uarch adds *in addition to* all ancestors'.
+        self.own_features = frozenset(features)
+        self.generation = generation
+        #: compiler → [{versions, flags, [name]}] optimization flag entries
+        self.compilers = compilers or {}
+
+    # -- DAG queries -------------------------------------------------------
+    @property
+    def ancestors(self) -> List["Microarchitecture"]:
+        """All transitive ancestors, deduplicated, closest first."""
+        seen: Dict[str, Microarchitecture] = {}
+        frontier = list(self.parents)
+        while frontier:
+            node = frontier.pop(0)
+            if node.name in seen:
+                continue
+            seen[node.name] = node
+            frontier.extend(node.parents)
+        return list(seen.values())
+
+    @property
+    def family(self) -> "Microarchitecture":
+        """The root ISA family (x86_64, ppc64le, aarch64)."""
+        roots = [a for a in [self] + self.ancestors if not a.parents]
+        if len(roots) != 1:
+            raise UnsupportedMicroarchitecture(
+                f"{self.name} has ambiguous family: {[r.name for r in roots]}"
+            )
+        return roots[0]
+
+    @property
+    def features(self) -> frozenset:
+        """All features, including every ancestor's."""
+        out = set(self.own_features)
+        for a in self.ancestors:
+            out |= a.own_features
+        return frozenset(out)
+
+    # -- partial order ------------------------------------------------------
+    def __eq__(self, other):
+        if isinstance(other, str):
+            return self.name == other
+        return isinstance(other, Microarchitecture) and self.name == other.name
+
+    def __hash__(self):
+        return hash(self.name)
+
+    def __ge__(self, other: "Microarchitecture") -> bool:
+        """self can execute code compiled for other."""
+        return other == self or other in self.ancestors
+
+    def __le__(self, other: "Microarchitecture") -> bool:
+        return other >= self
+
+    def __gt__(self, other: "Microarchitecture") -> bool:
+        return self >= other and self != other
+
+    def __lt__(self, other: "Microarchitecture") -> bool:
+        return self <= other and self != other
+
+    def __contains__(self, feature: str) -> bool:
+        return feature in self.features
+
+    # -- compiler flags -------------------------------------------------------
+    def optimization_flags(self, compiler: str, version: str) -> str:
+        """Flags that optimize for this uarch with the given compiler.
+
+        Raises :class:`UnsupportedMicroarchitecture` if the compiler is too
+        old to know this target (mirrors archspec's behaviour).
+        """
+        from repro.spack.version import Version, ver
+
+        entries = self.compilers.get(compiler)
+        if entries is None:
+            # Fall back to the nearest ancestor with flags for the compiler.
+            for ancestor in self.ancestors:
+                if compiler in ancestor.compilers:
+                    return ancestor.optimization_flags(compiler, version)
+            raise UnsupportedMicroarchitecture(
+                f"no {compiler} flag entry for {self.name} or its ancestors"
+            )
+        v = Version(version)
+        for entry in entries:
+            constraint = ver(entry.get("versions", ":"))
+            if constraint.includes(v):
+                name = entry.get("name", self.name)
+                return entry["flags"].format(name=name)
+        raise UnsupportedMicroarchitecture(
+            f"{compiler}@{version} cannot target {self.name}"
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "vendor": self.vendor,
+            "parents": [p.name for p in self.parents],
+            "features": sorted(self.own_features),
+            "generation": self.generation,
+        }
+
+    def __str__(self):
+        return self.name
+
+    def __repr__(self):
+        return f"Microarchitecture({self.name!r})"

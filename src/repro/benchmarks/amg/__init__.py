@@ -1,0 +1,36 @@
+"""A real algebraic-multigrid solver standing in for AMG2023 [21].
+
+Smoothed-aggregation AMG on SciPy sparse matrices: problem generators
+(:mod:`grids`), setup (:mod:`hierarchy`), smoothers (:mod:`smoothers`),
+V/W cycles + AMG-PCG (:mod:`cycles`), and the AMG2023-compatible benchmark
+driver (:mod:`solver`) with its FOM_Setup / FOM_Solve output format.
+"""
+
+from .cycles import SolveStats, amg_solve, cycle, pcg_solve
+from .grids import anisotropic_2d, poisson_2d, poisson_3d, poisson_3d_27pt, problem_matrix
+from .hierarchy import Hierarchy, Level, aggregate, build_hierarchy, strength_graph
+from .smoothers import gauss_seidel, jacobi, make_smoother
+from .solver import AmgResult, model_comm_per_cycle, run_amg
+
+__all__ = [
+    "AmgResult",
+    "Hierarchy",
+    "Level",
+    "SolveStats",
+    "aggregate",
+    "amg_solve",
+    "anisotropic_2d",
+    "build_hierarchy",
+    "cycle",
+    "gauss_seidel",
+    "jacobi",
+    "make_smoother",
+    "model_comm_per_cycle",
+    "pcg_solve",
+    "poisson_2d",
+    "poisson_3d",
+    "poisson_3d_27pt",
+    "problem_matrix",
+    "run_amg",
+    "strength_graph",
+]

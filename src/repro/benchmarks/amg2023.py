@@ -1,0 +1,55 @@
+"""AMG2023 command-line entry point.
+
+Mirrors the real AMG2023 binary's interface closely enough for Benchpark's
+``application.py`` (``amg -problem 1 -n {n} ...``):
+
+    python -m repro.benchmarks.amg2023 -problem 1 -n 16 -ranks 8
+
+Prints the FOM lines Benchpark's figures of merit parse (see
+:mod:`repro.benchmarks.amg.solver`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .amg import run_amg
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="amg", description="AMG2023 proxy benchmark"
+    )
+    parser.add_argument("-problem", type=int, default=1, choices=(1, 2, 3),
+                        help="1: 3D 7-pt Laplace, 2: 2D anisotropic, 3: 3D 27-pt")
+    parser.add_argument("-n", type=int, default=16,
+                        help="grid points per dimension")
+    parser.add_argument("-ranks", type=int, default=1,
+                        help="simulated MPI ranks")
+    parser.add_argument("-solver", choices=("pcg", "amg"), default="pcg")
+    parser.add_argument("-smoother", choices=("jacobi", "gauss_seidel"),
+                        default="jacobi")
+    parser.add_argument("-gamma", type=int, default=1,
+                        help="cycle index: 1=V, 2=W")
+    parser.add_argument("-tol", type=float, default=1e-8)
+    args = parser.parse_args(argv)
+
+    result = run_amg(
+        problem=args.problem,
+        n=args.n,
+        n_ranks=args.ranks,
+        solver=args.solver,
+        smoother=args.smoother,
+        gamma=args.gamma,
+        tol=args.tol,
+    )
+    print(result.report())
+    return 0 if result.stats.converged else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,194 @@
+"""SimMPI — an in-process simulated MPI world.
+
+The substitution for real MPI (DESIGN.md §3): benchmarks that need collective
+semantics run against a :class:`SimWorld` whose operations
+
+* have **real data semantics** — ``bcast`` really replicates the root's
+  payload, ``allreduce`` really reduces across per-rank buffers (so tests can
+  assert numerical correctness exactly like an mpi4py program would), and
+* have **modeled time semantics** — every call advances a simulated clock by
+  the α–β cost from :class:`repro.systems.mpi_model.MpiCostModel`, so
+  latency-bound microbenchmarks (OSU bcast, Figure 14's workload) produce
+  timings with the right scaling shape at arbitrary rank counts, far beyond
+  what one Python process could actually host.
+
+Data is held as "one value per rank" lists, mirroring the SPMD view from the
+outside: ``world.bcast(data, root=0)`` returns the per-rank receive buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.systems.descriptor import InterconnectSpec
+from repro.systems.mpi_model import MpiCostModel
+
+__all__ = ["SimWorld", "SimMpiError", "DEFAULT_INTERCONNECT"]
+
+DEFAULT_INTERCONNECT = InterconnectSpec(
+    name="loopback", latency_us=0.5, bandwidth_gbs=20.0, collective_algo="binomial"
+)
+
+
+class SimMpiError(RuntimeError):
+    pass
+
+
+def _nbytes(value: Any) -> int:
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, (int, float, complex)):
+        return 8
+    if isinstance(value, str):
+        return len(value.encode())
+    if isinstance(value, (list, tuple)):
+        return sum(_nbytes(v) for v in value)
+    return 64  # pickled-object estimate
+
+
+class SimWorld:
+    """A simulated communicator over ``size`` ranks."""
+
+    def __init__(self, size: int, interconnect: Optional[InterconnectSpec] = None):
+        if size < 1:
+            raise SimMpiError(f"world size must be >= 1, got {size}")
+        self.size = size
+        self.model = MpiCostModel(interconnect or DEFAULT_INTERCONNECT)
+        #: simulated elapsed communication time, seconds
+        self.sim_time = 0.0
+        #: op name -> invocation count (for profiling / Caliper integration)
+        self.op_counts: Dict[str, int] = {}
+        #: op name -> accumulated simulated seconds
+        self.op_times: Dict[str, float] = {}
+
+    # -- bookkeeping -------------------------------------------------------
+    def _account(self, op: str, seconds: float) -> None:
+        self.sim_time += seconds
+        self.op_counts[op] = self.op_counts.get(op, 0) + 1
+        self.op_times[op] = self.op_times.get(op, 0.0) + seconds
+
+    def _check_per_rank(self, values: Sequence[Any], what: str) -> None:
+        if len(values) != self.size:
+            raise SimMpiError(
+                f"{what} expects one value per rank "
+                f"({self.size}), got {len(values)}"
+            )
+
+    # -- time-only fast path ------------------------------------------------
+    def account_only(self, op: str, m_bytes: int) -> None:
+        """Advance the clock for a collective without materializing per-rank
+        data — used by timing loops (OSU) where replicating a 1 MB buffer to
+        thousands of simulated ranks would swamp memory for no benefit."""
+        self._account(op, self.model.cost(op, self.size, m_bytes))
+
+    # -- collectives -----------------------------------------------------------
+    def bcast(self, value: Any, root: int = 0) -> List[Any]:
+        """Replicate the root's value to all ranks."""
+        self._check_rank(root)
+        self._account("bcast", self.model.bcast(self.size, _nbytes(value)))
+        if isinstance(value, np.ndarray):
+            return [value if r == root else value.copy() for r in range(self.size)]
+        return [value for _ in range(self.size)]
+
+    def reduce(self, values: Sequence[Any], op: Callable = np.add, root: int = 0) -> Any:
+        """Combine per-rank values onto the root."""
+        self._check_rank(root)
+        self._check_per_rank(values, "reduce")
+        self._account("reduce", self.model.reduce(self.size, _nbytes(values[0])))
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def allreduce(self, values: Sequence[Any], op: Callable = np.add) -> List[Any]:
+        """Combine per-rank values; every rank receives the result."""
+        self._check_per_rank(values, "allreduce")
+        self._account("allreduce", self.model.allreduce(self.size, _nbytes(values[0])))
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        if isinstance(acc, np.ndarray):
+            return [acc.copy() for _ in range(self.size)]
+        return [acc for _ in range(self.size)]
+
+    def allgather(self, values: Sequence[Any]) -> List[List[Any]]:
+        """Each rank receives the full list of per-rank values."""
+        self._check_per_rank(values, "allgather")
+        self._account(
+            "allgather", self.model.allgather(self.size, _nbytes(values[0]))
+        )
+        gathered = list(values)
+        return [list(gathered) for _ in range(self.size)]
+
+    def gather(self, values: Sequence[Any], root: int = 0) -> List[Any]:
+        self._check_rank(root)
+        self._check_per_rank(values, "gather")
+        self._account("gather", self.model.gather(self.size, _nbytes(values[0])))
+        return list(values)
+
+    def scatter(self, values: Sequence[Any], root: int = 0) -> List[Any]:
+        self._check_rank(root)
+        self._check_per_rank(values, "scatter")
+        self._account("scatter", self.model.scatter(self.size, _nbytes(values[0])))
+        return list(values)
+
+    def alltoall(self, matrix: Sequence[Sequence[Any]]) -> List[List[Any]]:
+        """matrix[src][dst] → received[dst][src] (a transpose)."""
+        self._check_per_rank(matrix, "alltoall")
+        for row in matrix:
+            self._check_per_rank(row, "alltoall row")
+        self._account(
+            "alltoall", self.model.alltoall(self.size, _nbytes(matrix[0][0]))
+        )
+        return [[matrix[s][d] for s in range(self.size)] for d in range(self.size)]
+
+    def barrier(self) -> None:
+        self._account("barrier", self.model.barrier(self.size))
+
+    def sendrecv(self, value: Any, dest: int, source: int) -> Any:
+        """Point-to-point exchange (used by halo exchanges)."""
+        self._check_rank(dest)
+        self._check_rank(source)
+        self._account("sendrecv", self.model.ptp(_nbytes(value)))
+        return value
+
+    def halo_exchange(self, neighbors: int, m_bytes: int) -> None:
+        """Account a nearest-neighbour exchange without moving data."""
+        self._account("halo", self.model.halo_exchange(neighbors, m_bytes))
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.size):
+            raise SimMpiError(f"rank {rank} out of range [0, {self.size})")
+
+    # -- reporting -----------------------------------------------------------
+    def comm_profile(self) -> Dict[str, Dict[str, float]]:
+        return {
+            op: {"count": self.op_counts[op], "seconds": self.op_times[op]}
+            for op in sorted(self.op_counts)
+        }
+
+    def to_caliper_profile(self, metadata: Optional[Dict[str, Any]] = None):
+        """Export the accumulated communication accounting as a Caliper
+        :class:`~repro.analysis.caliper.Profile`: one ``MPI_<Op>`` region
+        per collective, with visits and inclusive time from the simulated
+        clock — the exact shape Thicket/Extra-P consume for Figure 14."""
+        from repro.analysis.caliper import Profile, RegionNode
+
+        root = RegionNode("")
+        mpi = root.child("MPI")
+        mpi.visits = 1
+        mpi.inclusive = self.sim_time
+        for op in sorted(self.op_counts):
+            node = mpi.child(f"MPI_{op.capitalize()}")
+            node.visits = self.op_counts[op]
+            node.inclusive = self.op_times[op]
+        merged = {"nprocs": self.size}
+        merged.update(metadata or {})
+        return Profile(root, merged)
+
+    def __repr__(self):
+        return f"SimWorld(size={self.size}, sim_time={self.sim_time:.6f}s)"

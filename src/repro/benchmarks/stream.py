@@ -1,0 +1,134 @@
+"""STREAM — the classic memory-bandwidth microbenchmark (McCalpin), as a
+vectorized-NumPy implementation.  An extension benchmark beyond the paper's
+two (§4), exercising Benchpark's claim that adding a benchmark needs only a
+package.py + application.py pair.
+
+The four kernels and their byte counts per element follow the reference C
+implementation:
+
+=========  ==================  =================
+kernel     operation           bytes/iteration
+=========  ==================  =================
+Copy       c = a               16
+Scale      b = q·c             16
+Add        c = a + b           24
+Triad      a = b + q·c         24
+=========  ==================  =================
+
+Output format mirrors stream.c's "Best Rate MB/s" table so FOM regexes look
+like the real thing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["run_stream", "StreamResult", "main", "KERNELS"]
+
+KERNELS = ("Copy", "Scale", "Add", "Triad")
+_Q = 3.0
+
+
+@dataclass
+class StreamResult:
+    array_size: int
+    ntimes: int
+    #: kernel -> best rate in MB/s
+    best_rates: Dict[str, float] = field(default_factory=dict)
+    #: kernel -> average time in seconds
+    avg_times: Dict[str, float] = field(default_factory=dict)
+    valid: bool = True
+
+    def report(self) -> str:
+        lines = [
+            f"STREAM array size = {self.array_size} (elements), "
+            f"{self.ntimes} iterations",
+            "Function    Best Rate MB/s  Avg time",
+        ]
+        for k in KERNELS:
+            lines.append(
+                f"{k + ':':<12}{self.best_rates[k]:>14.1f}  {self.avg_times[k]:.6f}"
+            )
+        lines.append(
+            "Solution Validates: avg error less than 1.000000e-13"
+            if self.valid
+            else "Solution INVALID"
+        )
+        return "\n".join(lines)
+
+
+def run_stream(array_size: int = 1_000_000, ntimes: int = 10,
+               dtype=np.float64) -> StreamResult:
+    """Run the four STREAM kernels ``ntimes`` and report best rates."""
+    if array_size < 16:
+        raise ValueError(f"array size too small: {array_size}")
+    if ntimes < 2:
+        raise ValueError("ntimes must be >= 2 (first iteration is warm-up)")
+    a = np.full(array_size, 1.0, dtype=dtype)
+    b = np.full(array_size, 2.0, dtype=dtype)
+    c = np.full(array_size, 0.0, dtype=dtype)
+    itemsize = a.itemsize
+    bytes_per = {
+        "Copy": 2 * itemsize * array_size,
+        "Scale": 2 * itemsize * array_size,
+        "Add": 3 * itemsize * array_size,
+        "Triad": 3 * itemsize * array_size,
+    }
+
+    times: Dict[str, List[float]] = {k: [] for k in KERNELS}
+    for _ in range(ntimes):
+        t = time.perf_counter()
+        np.copyto(c, a)
+        times["Copy"].append(time.perf_counter() - t)
+
+        t = time.perf_counter()
+        np.multiply(c, _Q, out=b)
+        times["Scale"].append(time.perf_counter() - t)
+
+        t = time.perf_counter()
+        np.add(a, b, out=c)
+        times["Add"].append(time.perf_counter() - t)
+
+        t = time.perf_counter()
+        np.multiply(c, _Q, out=a)
+        np.add(a, b, out=a)
+        times["Triad"].append(time.perf_counter() - t)
+
+    result = StreamResult(array_size=array_size, ntimes=ntimes)
+    for k in KERNELS:
+        trimmed = times[k][1:]  # drop warm-up iteration, like stream.c
+        best = min(trimmed)
+        result.best_rates[k] = bytes_per[k] / best / 1e6
+        result.avg_times[k] = sum(trimmed) / len(trimmed)
+
+    # Validation identical in spirit to stream.c: recompute expected values.
+    ea, eb, ec = 1.0, 2.0, 0.0
+    for _ in range(ntimes):
+        ec = ea
+        eb = _Q * ec
+        ec = ea + eb
+        ea = eb + _Q * ec
+    result.valid = bool(
+        np.allclose(a, ea) and np.allclose(b, eb) and np.allclose(c, ec)
+    )
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="stream")
+    parser.add_argument("-n", "--array-size", type=int, default=1_000_000)
+    parser.add_argument("--ntimes", type=int, default=10)
+    args = parser.parse_args(argv)
+    result = run_stream(args.array_size, args.ntimes)
+    print(result.report())
+    return 0 if result.valid else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Multi-site federation — Table 1 row 6's "Hubcast@LLNL/RIKEN/AWS/…".
+
+The paper's CI column lists *multiple* Hubcast deployments: every
+participating site runs its own GitLab + Jacamar behind its own security
+policy, all mirroring the one canonical GitHub repository.  A PR therefore
+fans out to every site whose criteria pass, each site's pipeline runs on
+its own systems, and per-site status checks stream back
+(``hubcast/gitlab-ci@LLNL`` etc.) — the federated-CI design §3.3 argues
+GitLab enables "in private HPC environments for smaller communities".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .github import GitHubRepo, PullRequest
+from .gitlab import GitLab
+from .hubcast import Hubcast, SecurityCriteria
+from .pipeline import Pipeline
+
+__all__ = ["Site", "Federation"]
+
+
+@dataclass
+class Site:
+    """One participating HPC site."""
+
+    name: str
+    gitlab: GitLab
+    hubcast: Hubcast
+    #: which simulated systems this site hosts (runner tags)
+    systems: List[str] = field(default_factory=list)
+
+
+class Federation:
+    """All sites mirroring one canonical repository."""
+
+    def __init__(self, canonical: GitHubRepo):
+        self.canonical = canonical
+        self.sites: Dict[str, Site] = {}
+
+    def add_site(self, name: str, systems: List[str],
+                 criteria: Optional[SecurityCriteria] = None) -> Site:
+        if name in self.sites:
+            raise ValueError(f"site {name!r} already federated")
+        gitlab = GitLab(f"{name.lower()}-gitlab")
+        hubcast = Hubcast(self.canonical, gitlab,
+                          criteria or SecurityCriteria())
+        # Per-site status context so checks are distinguishable on the PR.
+        hubcast_context = f"hubcast/gitlab-ci@{name}"
+        site = Site(name=name, gitlab=gitlab, hubcast=hubcast,
+                    systems=list(systems))
+        site.hubcast_context = hubcast_context  # type: ignore[attr-defined]
+        self.sites[name] = site
+        return site
+
+    def process_pr(self, pr: PullRequest) -> Dict[str, Optional[Pipeline]]:
+        """Fan the PR out to every site; returns site → pipeline (None when
+        the site's security criteria blocked it)."""
+        results: Dict[str, Optional[Pipeline]] = {}
+        for name, site in self.sites.items():
+            pipeline = site.hubcast.process_pr(pr)
+            # Re-home the generic status under the per-site context.
+            generic = pr.statuses.pop("hubcast/gitlab-ci", None)
+            if generic is not None:
+                pr.set_status(f"hubcast/gitlab-ci@{name}", generic.state,
+                              generic.description)
+            results[name] = pipeline
+        return results
+
+    def all_sites_green(self, pr: PullRequest) -> bool:
+        """True iff every federated site has streamed back success."""
+        if not self.sites:
+            return False
+        for name in self.sites:
+            status = pr.statuses.get(f"hubcast/gitlab-ci@{name}")
+            if status is None or status.state != "success":
+                return False
+        return True
+
+    def site_for_system(self, system: str) -> Optional[Site]:
+        for site in self.sites.values():
+            if system in site.systems:
+                return site
+        return None

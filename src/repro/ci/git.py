@@ -1,0 +1,120 @@
+"""In-memory git model — the substrate under the GitHub/GitLab services.
+
+Commits form a DAG; branches are named refs; repositories can be forked
+(shared history, divergent branches) and fetched from one another — enough
+git semantics for the paper's Figure 6 automation loop (PRs from forks,
+mirroring commits between hosts) without shelling out to real git.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from typing import Dict, List, Optional
+
+__all__ = ["Commit", "GitRepository", "GitError"]
+
+
+class GitError(RuntimeError):
+    pass
+
+
+_counter = itertools.count()
+
+
+class Commit:
+    """An immutable commit: snapshot of files plus parent link."""
+
+    def __init__(self, message: str, author: str, files: Dict[str, str],
+                 parent: Optional["Commit"] = None):
+        self.message = message
+        self.author = author
+        self.files = dict(files)
+        self.parent = parent
+        payload = (
+            f"{message}|{author}|{parent.sha if parent else ''}|"
+            + "|".join(f"{k}={hashlib.sha256(v.encode()).hexdigest()[:8]}"
+                       for k, v in sorted(files.items()))
+            + f"|{next(_counter)}"
+        )
+        self.sha = hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+    def ancestors(self) -> List["Commit"]:
+        out = []
+        node = self.parent
+        while node is not None:
+            out.append(node)
+            node = node.parent
+        return out
+
+    def __repr__(self):
+        return f"Commit({self.sha}, {self.message!r})"
+
+
+class GitRepository:
+    """A repository: branches → head commits."""
+
+    def __init__(self, name: str, default_branch: str = "main"):
+        self.name = name
+        self.default_branch = default_branch
+        root = Commit("initial commit", "system", {}, parent=None)
+        self.branches: Dict[str, Commit] = {default_branch: root}
+        self.commits: Dict[str, Commit] = {root.sha: root}
+
+    # ------------------------------------------------------------------
+    def head(self, branch: Optional[str] = None) -> Commit:
+        branch = branch or self.default_branch
+        try:
+            return self.branches[branch]
+        except KeyError:
+            raise GitError(
+                f"{self.name}: no branch {branch!r}; have {sorted(self.branches)}"
+            ) from None
+
+    def create_branch(self, name: str, from_branch: Optional[str] = None) -> None:
+        if name in self.branches:
+            raise GitError(f"{self.name}: branch {name!r} already exists")
+        self.branches[name] = self.head(from_branch)
+
+    def commit(self, branch: str, message: str, author: str,
+               files: Dict[str, str]) -> Commit:
+        """Apply file changes on top of the branch head."""
+        parent = self.head(branch)
+        merged_files = dict(parent.files)
+        merged_files.update(files)
+        commit = Commit(message, author, merged_files, parent=parent)
+        self.commits[commit.sha] = commit
+        self.branches[branch] = commit
+        return commit
+
+    def files_at(self, branch: str) -> Dict[str, str]:
+        return dict(self.head(branch).files)
+
+    def log(self, branch: Optional[str] = None) -> List[Commit]:
+        head = self.head(branch)
+        return [head] + head.ancestors()
+
+    # ------------------------------------------------------------------
+    def fork(self, new_name: str) -> "GitRepository":
+        """A fork shares commit objects but owns its branch table."""
+        fork = GitRepository.__new__(GitRepository)
+        fork.name = new_name
+        fork.default_branch = self.default_branch
+        fork.branches = dict(self.branches)
+        fork.commits = dict(self.commits)
+        return fork
+
+    def fetch(self, other: "GitRepository", branch: str,
+              as_branch: Optional[str] = None) -> Commit:
+        """Copy another repository's branch head (and history) here."""
+        head = other.head(branch)
+        for c in [head] + head.ancestors():
+            self.commits.setdefault(c.sha, c)
+        self.branches[as_branch or branch] = head
+        return head
+
+    def is_ancestor(self, maybe_ancestor: Commit, of: Commit) -> bool:
+        return maybe_ancestor is of or maybe_ancestor in of.ancestors()
+
+    def __repr__(self):
+        return f"GitRepository({self.name!r}, branches={sorted(self.branches)})"

@@ -1,0 +1,153 @@
+"""GitHub service model: forks, pull requests, reviews, status checks.
+
+The canonical Benchpark repository lives on GitHub (§3.3.1); untrusted
+contributors fork it and open pull requests.  Status checks are streamed
+back from GitLab CI via Hubcast and shown natively on the PR.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .git import Commit, GitError, GitRepository
+
+__all__ = ["GitHub", "GitHubRepo", "PullRequest", "Review", "StatusCheck"]
+
+
+@dataclass
+class Review:
+    reviewer: str
+    approved: bool
+    comment: str = ""
+    #: site/system administrator reviews carry mirroring authority (§3.3.1)
+    is_admin: bool = False
+
+
+@dataclass
+class StatusCheck:
+    context: str  # e.g. "hubcast/gitlab-ci"
+    state: str  # pending | success | failure
+    description: str = ""
+
+
+@dataclass
+class PullRequest:
+    number: int
+    title: str
+    author: str
+    source_repo: "GitHubRepo"
+    source_branch: str
+    target_branch: str
+    head: Commit
+    target_repo: Optional["GitHubRepo"] = None
+    reviews: List[Review] = field(default_factory=list)
+    statuses: Dict[str, StatusCheck] = field(default_factory=dict)
+    state: str = "open"  # open | merged | closed
+
+    def approve(self, reviewer: str, is_admin: bool = False, comment: str = "") -> None:
+        self.reviews.append(Review(reviewer, True, comment, is_admin))
+
+    def request_changes(self, reviewer: str, comment: str = "") -> None:
+        self.reviews.append(Review(reviewer, False, comment))
+
+    @property
+    def approved_by_admin(self) -> bool:
+        """§3.3.1: 'a pull request must be reviewed and approved by a site
+        and system administrator' before Hubcast mirrors it."""
+        approvals = {r.reviewer for r in self.reviews if r.approved and r.is_admin}
+        rejections = {r.reviewer for r in self.reviews if not r.approved}
+        return bool(approvals - rejections)
+
+    @property
+    def admin_approver(self) -> Optional[str]:
+        for r in reversed(self.reviews):
+            if r.approved and r.is_admin:
+                return r.reviewer
+        return None
+
+    def set_status(self, context: str, state: str, description: str = "") -> None:
+        self.statuses[context] = StatusCheck(context, state, description)
+
+    @property
+    def checks_passed(self) -> bool:
+        return bool(self.statuses) and all(
+            s.state == "success" for s in self.statuses.values()
+        )
+
+
+class GitHubRepo:
+    """One repository on the GitHub service."""
+
+    def __init__(self, hub: "GitHub", owner: str, name: str):
+        self.hub = hub
+        self.owner = owner
+        self.name = name
+        self.git = GitRepository(f"{owner}/{name}")
+        self.pull_requests: Dict[int, PullRequest] = {}
+        self._pr_ids = itertools.count(1)
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.owner}/{self.name}"
+
+    def fork(self, new_owner: str) -> "GitHubRepo":
+        fork = GitHubRepo(self.hub, new_owner, self.name)
+        fork.git = self.git.fork(f"{new_owner}/{self.name}")
+        self.hub.repos[fork.full_name] = fork
+        return fork
+
+    def open_pull_request(self, source_repo: "GitHubRepo", source_branch: str,
+                          title: str, author: str,
+                          target_branch: Optional[str] = None) -> PullRequest:
+        target_branch = target_branch or self.git.default_branch
+        head = source_repo.git.head(source_branch)
+        base = self.git.head(target_branch)
+        if head is base:
+            raise GitError("pull request has no changes against the target")
+        pr = PullRequest(
+            number=next(self._pr_ids),
+            title=title,
+            author=author,
+            source_repo=source_repo,
+            source_branch=source_branch,
+            target_branch=target_branch,
+            head=head,
+            target_repo=self,
+        )
+        self.pull_requests[pr.number] = pr
+        self.hub.notify_pr_opened(self, pr)
+        return pr
+
+    def merge(self, pr_number: int) -> Commit:
+        pr = self.pull_requests[pr_number]
+        if pr.state != "open":
+            raise GitError(f"PR #{pr_number} is {pr.state}")
+        if not pr.checks_passed:
+            raise GitError(f"PR #{pr_number}: required status checks not passing")
+        self.git.fetch(pr.source_repo.git, pr.source_branch,
+                       as_branch=pr.target_branch)
+        pr.state = "merged"
+        return self.git.head(pr.target_branch)
+
+
+class GitHub:
+    """The GitHub service: a namespace of repos and PR webhooks."""
+
+    def __init__(self):
+        self.repos: Dict[str, GitHubRepo] = {}
+        self._webhooks: List = []
+
+    def create_repo(self, owner: str, name: str) -> GitHubRepo:
+        repo = GitHubRepo(self, owner, name)
+        self.repos[repo.full_name] = repo
+        return repo
+
+    def register_webhook(self, callback) -> None:
+        """callback(repo, pr) fires when a PR opens (Hubcast subscribes)."""
+        self._webhooks.append(callback)
+
+    def notify_pr_opened(self, repo: GitHubRepo, pr: PullRequest) -> None:
+        for cb in self._webhooks:
+            cb(repo, pr)

@@ -1,0 +1,103 @@
+"""GitLab service model: mirrored projects, runners, and CI pipelines.
+
+GitLab was chosen over GitHub-native runners "due to GitLab's popularity at
+HPC centers (because of compatibility with Jacamar) and because it can be
+used in private HPC environments" (§3.3).  Each HPC site runs its own
+GitLab instance with runners tagged by system; Hubcast mirrors approved
+GitHub commits here, and pipelines execute through Jacamar.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .git import GitRepository
+from .pipeline import CiJob, Pipeline, build_pipeline, run_pipeline
+
+__all__ = ["GitLab", "GitLabProject", "Runner", "GitLabError"]
+
+
+class GitLabError(RuntimeError):
+    pass
+
+
+class Runner:
+    """A GitLab CI runner registered at an HPC site.
+
+    ``executor`` runs one job and returns (ok, log) — in Benchpark this is a
+    :class:`~repro.ci.jacamar.JacamarExecutor` bound to a system.
+    """
+
+    def __init__(self, name: str, tags: List[str],
+                 executor: Callable[[CiJob], tuple]):
+        self.name = name
+        self.tags = list(tags)
+        self.executor = executor
+        self.jobs_run = 0
+
+    def can_run(self, job: CiJob) -> bool:
+        return all(tag in self.tags for tag in job.tags)
+
+    def run(self, job: CiJob) -> tuple:
+        self.jobs_run += 1
+        job.runner = self.name
+        return self.executor(job)
+
+
+class GitLabProject:
+    """A project on a GitLab instance (usually a Hubcast mirror)."""
+
+    def __init__(self, gitlab: "GitLab", path: str):
+        self.gitlab = gitlab
+        self.path = path
+        self.git = GitRepository(path)
+        self.pipelines: List[Pipeline] = []
+
+    def trigger_pipeline(self, ref: str) -> Pipeline:
+        """Read .gitlab-ci.yml at the ref and run it on matching runners."""
+        files = self.git.files_at(ref)
+        ci_text = files.get(".gitlab-ci.yml")
+        if ci_text is None:
+            raise GitLabError(
+                f"{self.path}@{ref}: no .gitlab-ci.yml — nothing to run"
+            )
+        sha = self.git.head(ref).sha
+        pipeline = build_pipeline(ref, sha, ci_text)
+
+        def execute(job: CiJob) -> tuple:
+            runner = self.gitlab.find_runner(job)
+            if runner is None:
+                return False, f"no runner with tags {job.tags}"
+            return runner.run(job)
+
+        run_pipeline(pipeline, execute)
+        self.pipelines.append(pipeline)
+        return pipeline
+
+
+class GitLab:
+    """One GitLab instance (an HPC center's private deployment)."""
+
+    def __init__(self, name: str = "gitlab"):
+        self.name = name
+        self.projects: Dict[str, GitLabProject] = {}
+        self.runners: List[Runner] = []
+
+    def create_project(self, path: str) -> GitLabProject:
+        if path in self.projects:
+            raise GitLabError(f"project {path!r} already exists")
+        project = GitLabProject(self, path)
+        self.projects[path] = project
+        return project
+
+    def get_or_create_project(self, path: str) -> GitLabProject:
+        return self.projects.get(path) or self.create_project(path)
+
+    def register_runner(self, runner: Runner) -> None:
+        self.runners.append(runner)
+
+    def find_runner(self, job: CiJob) -> Optional[Runner]:
+        for runner in self.runners:
+            if runner.can_run(job):
+                return runner
+        return None

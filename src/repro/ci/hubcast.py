@@ -1,0 +1,128 @@
+"""Hubcast — secure GitHub↔GitLab mirroring (§3.3.1, [23]).
+
+"Unlike GitLab's built-in mirroring functionality, Hubcast allows untrusted
+pull requests from forks to be mirrored to a GitLab once they pass a
+configured set of security criteria.  Once mirrored, these pull request
+branches may then be used for GitLab CI and the status of any workflows will
+be reported back to GitHub."
+
+Security model implemented here, mirroring the paper:
+
+* a PR from an untrusted fork is mirrored **only after** review + approval
+  by a site and system administrator;
+* PRs by trusted users (allowlist) mirror immediately;
+* after the GitLab pipeline finishes, Hubcast streams the result back as a
+  native status check on the GitHub PR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from .github import GitHubRepo, PullRequest
+from .gitlab import GitLab, GitLabProject
+from .pipeline import Pipeline
+
+__all__ = ["Hubcast", "SecurityCriteria", "MirrorRecord"]
+
+STATUS_CONTEXT = "hubcast/gitlab-ci"
+
+
+@dataclass
+class SecurityCriteria:
+    """The configured set of checks a PR must pass before mirroring."""
+
+    trusted_users: Set[str] = field(default_factory=set)
+    require_admin_approval: bool = True
+    #: paths an untrusted PR may not touch even with approval
+    protected_paths: Set[str] = field(default_factory=lambda: {".gitlab-ci.yml"})
+
+    def evaluate(self, pr: PullRequest) -> tuple:
+        """(allowed, reason)."""
+        if pr.author in self.trusted_users:
+            return True, f"author {pr.author!r} is trusted"
+        if self.require_admin_approval and not pr.approved_by_admin:
+            return False, "awaiting review and approval by a site administrator"
+        changed = _changed_paths(pr)
+        touched_protected = changed & self.protected_paths
+        if touched_protected:
+            return False, (
+                f"untrusted PR modifies protected path(s) {sorted(touched_protected)}"
+            )
+        return True, "approved by site administrator"
+
+
+def _changed_paths(pr: PullRequest) -> Set[str]:
+    """Paths that differ between the PR head and the target branch."""
+    head_files = pr.head.files
+    if pr.target_repo is not None:
+        base = pr.target_repo.git.files_at(pr.target_branch)
+    else:
+        base = pr.head.parent.files if pr.head.parent else {}
+    changed = {p for p, content in head_files.items() if base.get(p) != content}
+    changed |= set(base) - set(head_files)
+    return changed
+
+
+@dataclass
+class MirrorRecord:
+    pr_number: int
+    branch: str
+    sha: str
+    pipeline: Optional[Pipeline] = None
+
+
+class Hubcast:
+    """The mirroring bot wiring one GitHub repo to one GitLab instance."""
+
+    def __init__(self, github_repo: GitHubRepo, gitlab: GitLab,
+                 criteria: Optional[SecurityCriteria] = None):
+        self.github_repo = github_repo
+        self.gitlab = gitlab
+        self.criteria = criteria or SecurityCriteria()
+        self.mirror: GitLabProject = gitlab.get_or_create_project(
+            f"mirror/{github_repo.full_name}"
+        )
+        # Seed the mirror with the canonical default branch.
+        self.mirror.git.fetch(github_repo.git, github_repo.git.default_branch)
+        self.mirrored: Dict[int, MirrorRecord] = {}
+        self.audit_log: List[str] = []
+        github_repo.hub.register_webhook(self._on_pr_event)
+
+    # ------------------------------------------------------------------
+    def _on_pr_event(self, repo: GitHubRepo, pr: PullRequest) -> None:
+        if repo is not self.github_repo:
+            return
+        pr.set_status(STATUS_CONTEXT, "pending", "awaiting security checks")
+        self.audit_log.append(f"PR #{pr.number} opened by {pr.author}")
+
+    # ------------------------------------------------------------------
+    def process_pr(self, pr: PullRequest) -> Optional[Pipeline]:
+        """Evaluate criteria; if they pass, mirror the PR branch to GitLab,
+        run CI, and stream the status back to GitHub."""
+        allowed, reason = self.criteria.evaluate(pr)
+        self.audit_log.append(
+            f"PR #{pr.number}: security criteria "
+            f"{'passed' if allowed else 'blocked'} — {reason}"
+        )
+        if not allowed:
+            pr.set_status(STATUS_CONTEXT, "pending", reason)
+            return None
+
+        branch = f"pr-{pr.number}"
+        self.mirror.git.fetch(pr.source_repo.git, pr.source_branch,
+                              as_branch=branch)
+        record = MirrorRecord(pr.number, branch, pr.head.sha)
+        self.mirrored[pr.number] = record
+        self.audit_log.append(
+            f"PR #{pr.number}: mirrored {pr.head.sha} to {self.mirror.path}@{branch}"
+        )
+
+        pipeline = self.mirror.trigger_pipeline(branch)
+        record.pipeline = pipeline
+        state = "success" if pipeline.succeeded else "failure"
+        detail = f"pipeline #{pipeline.pipeline_id} {pipeline.status}"
+        pr.set_status(STATUS_CONTEXT, state, detail)
+        self.audit_log.append(f"PR #{pr.number}: streamed back {state} ({detail})")
+        return pipeline

@@ -1,0 +1,95 @@
+"""Jacamar — a custom HPC executor for GitLab CI runners (§3.3.2, [8]).
+
+"Instead of running multiple CI jobs all under a single service user,
+Jacamar uses setuid to execute jobs as the user who triggered them. …  If a
+job is submitted by a user without an account at a participating site, the
+job will be run as the user who approved the pull request."
+
+The executor therefore needs: the site's account database, the identity of
+the triggering user, and the identity of the approving administrator.  Every
+execution is written to an audit log attributable to a real user — the
+security property the paper emphasizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from .pipeline import CiJob
+
+__all__ = ["JacamarExecutor", "JacamarError", "SiteAccounts"]
+
+
+class JacamarError(RuntimeError):
+    pass
+
+
+@dataclass
+class SiteAccounts:
+    """The participating site's user database."""
+
+    site: str
+    users: Set[str] = field(default_factory=set)
+    service_accounts_allowed: bool = False
+
+    def has_account(self, user: str) -> bool:
+        return user in self.users
+
+
+class JacamarExecutor:
+    """Executes CI jobs under a concrete user identity (setuid simulation).
+
+    ``script_runner(job, user) -> (ok, log)`` performs the actual work —
+    for Benchpark that shells the job's script into the benchmark dispatch.
+    """
+
+    def __init__(
+        self,
+        accounts: SiteAccounts,
+        script_runner: Callable[[CiJob, str], tuple],
+    ):
+        self.accounts = accounts
+        self.script_runner = script_runner
+        self.audit_log: List[Dict[str, str]] = []
+
+    def resolve_user(self, triggered_by: str, approved_by: Optional[str]) -> str:
+        """Which identity the job runs as (the paper's setuid policy)."""
+        if self.accounts.has_account(triggered_by):
+            return triggered_by
+        if approved_by is not None and self.accounts.has_account(approved_by):
+            return approved_by
+        raise JacamarError(
+            f"neither the triggering user {triggered_by!r} nor the approver "
+            f"{approved_by!r} has an account at {self.accounts.site}; "
+            f"refusing to run under a service account"
+        )
+
+    def execute(self, job: CiJob, triggered_by: str,
+                approved_by: Optional[str] = None) -> tuple:
+        user = self.resolve_user(triggered_by, approved_by)
+        job.run_as_user = user
+        ok, log = self.script_runner(job, user)
+        self.audit_log.append(
+            {
+                "site": self.accounts.site,
+                "job": job.name,
+                "triggered_by": triggered_by,
+                "ran_as": user,
+                "outcome": "success" if ok else "failed",
+            }
+        )
+        return ok, log
+
+    def bound_runner(self, triggered_by: str,
+                     approved_by: Optional[str] = None) -> Callable[[CiJob], tuple]:
+        """Adapter with the (job) -> (ok, log) signature GitLab runners use,
+        with the user context pre-bound for one pipeline."""
+
+        def run(job: CiJob) -> tuple:
+            try:
+                return self.execute(job, triggered_by, approved_by)
+            except JacamarError as e:
+                return False, f"jacamar: {e}"
+
+        return run

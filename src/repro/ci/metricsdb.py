@@ -1,0 +1,167 @@
+"""Metrics database (Figure 6): where continuous-benchmarking results land.
+
+§5: "Storing the Benchpark manifest with the performance results will enable
+introspection into benchmark performance across systems and time."  Records
+therefore carry the full experiment manifest (application/system/experiment
+variables) alongside each FOM, a monotonically increasing sequence number
+standing in for time, and query/aggregation APIs the dashboard and Thicket
+consume.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["MetricRecord", "MetricsDatabase"]
+
+
+@dataclass(frozen=True)
+class MetricRecord:
+    seq: int
+    benchmark: str
+    system: str
+    experiment: str
+    fom_name: str
+    value: Any
+    units: str = ""
+    manifest: Dict[str, Any] = field(default_factory=dict, hash=False, compare=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "benchmark": self.benchmark,
+            "system": self.system,
+            "experiment": self.experiment,
+            "fom_name": self.fom_name,
+            "value": self.value,
+            "units": self.units,
+            "manifest": dict(self.manifest),
+        }
+
+
+class MetricsDatabase:
+    """Append-only store of benchmark results."""
+
+    def __init__(self):
+        self._records: List[MetricRecord] = []
+        self._seq = itertools.count(1)
+
+    # -- ingestion -------------------------------------------------------
+    def record(self, benchmark: str, system: str, experiment: str,
+               fom_name: str, value: Any, units: str = "",
+               manifest: Optional[Dict[str, Any]] = None) -> MetricRecord:
+        rec = MetricRecord(
+            seq=next(self._seq),
+            benchmark=benchmark,
+            system=system,
+            experiment=experiment,
+            fom_name=fom_name,
+            value=value,
+            units=units,
+            manifest=dict(manifest or {}),
+        )
+        self._records.append(rec)
+        return rec
+
+    def ingest_analysis(self, system: str, analysis: Dict[str, Any]) -> int:
+        """Load a Ramble ``results.latest.json`` payload; returns the number
+        of FOM records stored."""
+        count = 0
+        for exp in analysis.get("experiments", []):
+            for fom in exp.get("figures_of_merit", []):
+                self.record(
+                    benchmark=exp["application"],
+                    system=system,
+                    experiment=exp["name"],
+                    fom_name=fom["name"],
+                    value=fom["value"],
+                    units=fom.get("units", ""),
+                    manifest=exp.get("variables", {}),
+                )
+                count += 1
+        return count
+
+    # -- queries -----------------------------------------------------------
+    def query(self, benchmark: Optional[str] = None, system: Optional[str] = None,
+              fom_name: Optional[str] = None,
+              predicate: Optional[Callable[[MetricRecord], bool]] = None
+              ) -> List[MetricRecord]:
+        out = []
+        for rec in self._records:
+            if benchmark is not None and rec.benchmark != benchmark:
+                continue
+            if system is not None and rec.system != system:
+                continue
+            if fom_name is not None and rec.fom_name != fom_name:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def series(self, benchmark: str, system: str, fom_name: str,
+               x_key: str) -> List[tuple]:
+        """(manifest[x_key], value) pairs — e.g. nprocs vs total_time for
+        the Figure 14 fit — sorted by x."""
+        pairs = []
+        for rec in self.query(benchmark=benchmark, system=system, fom_name=fom_name):
+            if x_key not in rec.manifest:
+                continue
+            try:
+                x = float(rec.manifest[x_key])
+                y = float(rec.value)
+            except (TypeError, ValueError):
+                continue
+            pairs.append((x, y))
+        return sorted(pairs)
+
+    def aggregate(self, fom_name: str, group_by: str = "system") -> Dict[str, Dict[str, float]]:
+        groups: Dict[str, List[float]] = {}
+        for rec in self.query(fom_name=fom_name):
+            try:
+                value = float(rec.value)
+            except (TypeError, ValueError):
+                continue
+            key = getattr(rec, group_by, None) or rec.manifest.get(group_by)
+            groups.setdefault(str(key), []).append(value)
+        return {
+            k: {
+                "mean": float(np.mean(v)),
+                "min": float(np.min(v)),
+                "max": float(np.max(v)),
+                "count": len(v),
+            }
+            for k, v in sorted(groups.items())
+        }
+
+    # -- usage metrics (§5: "which codes are accessed most heavily") --------
+    def benchmark_usage(self) -> Dict[str, int]:
+        usage: Dict[str, int] = {}
+        for rec in self._records:
+            usage[rec.benchmark] = usage.get(rec.benchmark, 0) + 1
+        return dict(sorted(usage.items(), key=lambda kv: -kv[1]))
+
+    # -- persistence -----------------------------------------------------------
+    def dump(self, path: Path | str) -> None:
+        Path(path).write_text(
+            json.dumps([r.to_dict() for r in self._records], indent=2)
+        )
+
+    @classmethod
+    def load(cls, path: Path | str) -> "MetricsDatabase":
+        db = cls()
+        for d in json.loads(Path(path).read_text()):
+            db.record(
+                d["benchmark"], d["system"], d["experiment"], d["fom_name"],
+                d["value"], d.get("units", ""), d.get("manifest"),
+            )
+        return db
+
+    def __len__(self):
+        return len(self._records)

@@ -1,0 +1,83 @@
+"""S3-like object store (Figure 6's cache, §7.2's rolling binary cache).
+
+Buckets of key → bytes with content hashing and simple usage metrics.
+The mini-Spack :class:`~repro.spack.binary_cache.BinaryCache` can use a
+bucket as its backend, which is how CI builders and benchmark runners share
+binaries in the automation loop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional
+
+__all__ = ["ObjectStore", "Bucket", "ObjectStoreError"]
+
+
+class ObjectStoreError(KeyError):
+    pass
+
+
+class Bucket:
+    """One bucket: a flat key → object namespace."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._objects: Dict[str, bytes] = {}
+        self.puts = 0
+        self.gets = 0
+
+    def put(self, key: str, data: bytes) -> str:
+        if not isinstance(data, bytes):
+            raise TypeError(f"object data must be bytes, got {type(data).__name__}")
+        self._objects[key] = data
+        self.puts += 1
+        return hashlib.sha256(data).hexdigest()
+
+    def get(self, key: str) -> Optional[bytes]:
+        self.gets += 1
+        return self._objects.get(key)
+
+    def get_or_raise(self, key: str) -> bytes:
+        data = self.get(key)
+        if data is None:
+            raise ObjectStoreError(f"s3://{self.name}/{key} not found")
+        return data
+
+    def has(self, key: str) -> bool:
+        return key in self._objects
+
+    def delete(self, key: str) -> None:
+        if key not in self._objects:
+            raise ObjectStoreError(f"s3://{self.name}/{key} not found")
+        del self._objects[key]
+
+    def list(self, prefix: str = "") -> List[str]:
+        return sorted(k for k in self._objects if k.startswith(prefix))
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(v) for v in self._objects.values())
+
+    def __len__(self):
+        return len(self._objects)
+
+
+class ObjectStore:
+    """The service: a namespace of buckets."""
+
+    def __init__(self):
+        self.buckets: Dict[str, Bucket] = {}
+
+    def create_bucket(self, name: str) -> Bucket:
+        if name in self.buckets:
+            raise ObjectStoreError(f"bucket {name!r} already exists")
+        bucket = Bucket(name)
+        self.buckets[name] = bucket
+        return bucket
+
+    def bucket(self, name: str) -> Bucket:
+        try:
+            return self.buckets[name]
+        except KeyError:
+            raise ObjectStoreError(f"no bucket {name!r}") from None

@@ -1,0 +1,168 @@
+"""GitLab CI pipeline model: ``.gitlab-ci.yml`` parsing and execution.
+
+Benchpark's CI tests "each component …, including source code, inputs,
+builds, run scripts, and evaluation on systems both in the cloud and hosted
+locally" (§3.3).  A pipeline is parsed from the repository's
+``.gitlab-ci.yml`` at the mirrored commit; jobs are grouped into stages and
+dispatched to runners whose tags match.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import yaml
+
+__all__ = ["CiJob", "Pipeline", "parse_ci_config", "CiConfigError"]
+
+
+class CiConfigError(ValueError):
+    pass
+
+
+_RESERVED_KEYS = {"stages", "variables", "default", "workflow", "include"}
+
+
+@dataclass
+class CiJob:
+    name: str
+    stage: str
+    script: List[str]
+    tags: List[str] = field(default_factory=list)
+    variables: Dict[str, str] = field(default_factory=dict)
+    allow_failure: bool = False
+    #: DAG dependencies within the pipeline (GitLab `needs:`)
+    needs: List[str] = field(default_factory=list)
+    status: str = "created"  # created|pending|running|success|failed|skipped
+    log: str = ""
+    runner: Optional[str] = None
+    run_as_user: Optional[str] = None
+
+
+@dataclass
+class Pipeline:
+    pipeline_id: int
+    ref: str
+    sha: str
+    stages: List[str]
+    jobs: List[CiJob]
+    status: str = "created"
+
+    def jobs_in_stage(self, stage: str) -> List[CiJob]:
+        return [j for j in self.jobs if j.stage == stage]
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == "success"
+
+
+def parse_ci_config(text: str) -> Dict[str, Any]:
+    """Parse .gitlab-ci.yml into {stages, variables, jobs}."""
+    try:
+        data = yaml.safe_load(text) or {}
+    except yaml.YAMLError as e:
+        raise CiConfigError(f"invalid .gitlab-ci.yml: {e}") from e
+    if not isinstance(data, dict):
+        raise CiConfigError(".gitlab-ci.yml must be a mapping")
+    stages = data.get("stages") or ["test"]
+    global_vars = data.get("variables") or {}
+    jobs: List[CiJob] = []
+    for name, body in data.items():
+        if name in _RESERVED_KEYS or name.startswith("."):
+            continue
+        if not isinstance(body, dict):
+            raise CiConfigError(f"job {name!r} must be a mapping")
+        if "script" not in body:
+            raise CiConfigError(f"job {name!r} has no script")
+        stage = body.get("stage", stages[0])
+        if stage not in stages:
+            raise CiConfigError(
+                f"job {name!r} references unknown stage {stage!r}; "
+                f"declared: {stages}"
+            )
+        script = body["script"]
+        if isinstance(script, str):
+            script = [script]
+        variables = dict(global_vars)
+        variables.update(body.get("variables") or {})
+        jobs.append(
+            CiJob(
+                name=name,
+                stage=stage,
+                script=[str(s) for s in script],
+                tags=[str(t) for t in body.get("tags", [])],
+                variables=variables,
+                allow_failure=bool(body.get("allow_failure", False)),
+                needs=[str(n) for n in body.get("needs", [])],
+            )
+        )
+    if not jobs:
+        raise CiConfigError(".gitlab-ci.yml defines no jobs")
+    names = {j.name for j in jobs}
+    for job in jobs:
+        unknown = [n for n in job.needs if n not in names]
+        if unknown:
+            raise CiConfigError(
+                f"job {job.name!r} needs unknown job(s) {unknown}"
+            )
+    return {"stages": list(stages), "variables": global_vars, "jobs": jobs}
+
+
+_pipeline_ids = itertools.count(1)
+
+
+def build_pipeline(ref: str, sha: str, ci_text: str) -> Pipeline:
+    parsed = parse_ci_config(ci_text)
+    return Pipeline(
+        pipeline_id=next(_pipeline_ids),
+        ref=ref,
+        sha=sha,
+        stages=parsed["stages"],
+        jobs=parsed["jobs"],
+    )
+
+
+def run_pipeline(
+    pipeline: Pipeline,
+    execute_job: Callable[[CiJob], tuple],
+) -> Pipeline:
+    """Run stages in order; a failed (non-allow_failure) job fails the
+    pipeline and skips later stages.  Within a stage, `needs:` edges are
+    honoured (a job whose needed job failed or was skipped is skipped).
+    ``execute_job(job) -> (ok, log)``."""
+    pipeline.status = "running"
+    failed = False
+    status_of: Dict[str, str] = {}
+    for stage in pipeline.stages:
+        pending = list(pipeline.jobs_in_stage(stage))
+        # needs-respecting order: run jobs whose needs are all decided.
+        progress = True
+        while pending and progress:
+            progress = False
+            for job in list(pending):
+                if any(n not in status_of for n in job.needs):
+                    continue
+                pending.remove(job)
+                progress = True
+                needs_ok = all(status_of.get(n) == "success" for n in job.needs)
+                if failed or not needs_ok:
+                    job.status = "skipped"
+                    status_of[job.name] = "skipped"
+                    continue
+                job.status = "running"
+                ok, log = execute_job(job)
+                job.log = log
+                job.status = "success" if ok else "failed"
+                status_of[job.name] = job.status
+                if not ok and not job.allow_failure:
+                    failed = True
+        if pending:
+            # circular or cross-stage-forward needs: mark them skipped
+            for job in pending:
+                job.status = "skipped"
+                status_of[job.name] = "skipped"
+            failed = True
+    pipeline.status = "failed" if failed else "success"
+    return pipeline

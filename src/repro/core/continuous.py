@@ -1,0 +1,138 @@
+"""The continuous-benchmarking loop itself.
+
+§2: "Being able to automate the benchmarking process and store the results
+of the evaluation before and after any changes to hardware, firmware,
+drivers, or software will provide a deeper understanding of the impact of
+these changes."
+
+:class:`ContinuousBenchmarking` runs one (experiment, system) campaign per
+*epoch* — a scheduled CI trigger in real Benchpark — against a system whose
+health follows a :class:`~repro.systems.failures.FailureSchedule`, stores
+every FOM in the metrics database tagged with its epoch, and scans the
+accumulated history with a :class:`~repro.analysis.regression.RegressionDetector`.
+The regression-tracking bench injects a DIMM degradation mid-history and
+shows the loop localizing it in time.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.regression import RegressionDetector, RegressionEvent
+from repro.ci import MetricsDatabase
+from repro.systems import SystemExecutor, get_system
+from repro.systems.failures import FailureSchedule
+
+from .driver import benchpark_setup
+
+__all__ = ["ContinuousBenchmarking"]
+
+#: FOMs worth tracking per benchmark, with their direction.
+TRACKED_FOMS: Dict[str, List[tuple]] = {
+    "saxpy": [("bandwidth", True), ("kernel_time", False)],
+    "amg2023": [("fom_solve", True), ("fom_setup", True)],
+    "stream": [("triad_bw", True), ("copy_bw", True)],
+    "osu-micro-benchmarks": [("total_time", False)],
+    "quicksilver": [("fom_segments", True)],
+}
+
+
+class ContinuousBenchmarking:
+    """A long-running benchmarking loop for one experiment on one system."""
+
+    def __init__(
+        self,
+        experiment: str,
+        system: str,
+        workdir: Path | str,
+        schedule: Optional[FailureSchedule] = None,
+        detector: Optional[RegressionDetector] = None,
+    ):
+        self.experiment = experiment
+        self.system_name = system
+        self.base_system = get_system(system)
+        self.workdir = Path(workdir)
+        self.schedule = schedule or FailureSchedule()
+        self.detector = detector or RegressionDetector(threshold=0.10, window=2)
+        self.db = MetricsDatabase()
+        self.epochs_run = 0
+
+    @property
+    def benchmark_name(self) -> str:
+        return self.experiment.split("/")[0]
+
+    # ------------------------------------------------------------------
+    def run_epoch(self) -> int:
+        """One scheduled benchmarking run; returns FOMs recorded."""
+        epoch = self.epochs_run
+        system = self.schedule.system_at(self.base_system, epoch)
+        session = benchpark_setup(
+            self.experiment, self.system_name,
+            self.workdir / f"epoch-{epoch}",
+        )
+        session.setup()
+        session.workspace.run(SystemExecutor(system, epoch=epoch))
+        results = session.analyze()
+        # Tag every record with its epoch for the time axis.
+        for exp in results["experiments"]:
+            exp.setdefault("variables", {})["epoch"] = str(epoch)
+        count = self.db.ingest_analysis(self.system_name, results)
+        self.epochs_run += 1
+        return count
+
+    def run(self, epochs: int) -> "ContinuousBenchmarking":
+        for _ in range(epochs):
+            self.run_epoch()
+        return self
+
+    # ------------------------------------------------------------------
+    def regressions(self) -> List[RegressionEvent]:
+        """Scan the accumulated history for every tracked FOM."""
+        events: List[RegressionEvent] = []
+        for fom_name, higher_is_better in TRACKED_FOMS.get(
+            self.benchmark_name, []
+        ):
+            detector = RegressionDetector(
+                threshold=self.detector.threshold,
+                window=self.detector.window,
+                higher_is_better=higher_is_better,
+            )
+            events.extend(detector.detect_in_db(
+                self.db, self.benchmark_name, self.system_name, fom_name,
+            ))
+        return sorted(events, key=lambda e: e.epoch)
+
+    def history(self, fom_name: str) -> List[tuple]:
+        """(epoch, mean value) series for one FOM."""
+        import numpy as np
+
+        raw = self.db.series(self.benchmark_name, self.system_name,
+                             fom_name, "epoch")
+        by_epoch: dict = {}
+        for epoch, value in raw:
+            by_epoch.setdefault(epoch, []).append(value)
+        return [(e, float(np.mean(v))) for e, v in sorted(by_epoch.items())]
+
+    def diagnose(self) -> List:
+        """Name the suspected failing subsystem(s) from the cross-FOM
+        regression fingerprint (§1: 'diagnosing hardware failures')."""
+        from repro.analysis.diagnosis import diagnose
+
+        monitored = [f for f, _ in TRACKED_FOMS.get(self.benchmark_name, [])]
+        return diagnose(self.regressions(), monitored)
+
+    def report(self) -> str:
+        lines = [
+            f"continuous benchmarking: {self.experiment} on {self.system_name}",
+            f"epochs run: {self.epochs_run}, records: {len(self.db)}",
+        ]
+        events = self.regressions()
+        if events:
+            lines.append(f"{len(events)} regression(s) detected:")
+            lines += [f"  {e}" for e in events]
+            for hypothesis in self.diagnose():
+                lines.append(f"  diagnosis: {hypothesis}")
+        else:
+            lines.append("no regressions detected")
+        return "\n".join(lines)

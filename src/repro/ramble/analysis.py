@@ -1,0 +1,102 @@
+"""Experiment analysis — ``ramble workspace analyze`` (§3.2.5, §4.5).
+
+Reads each experiment's output log, extracts every declared figure of merit
+by regex, and evaluates success criteria.  Result records mirror Ramble's
+``results.latest.json`` shape: per-experiment status
+(SUCCESS / FAILED / NOT_RUN) plus a list of context-grouped FOM values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Type
+
+from .application import ApplicationBase, FigureOfMeritDef
+from .expander import Expander
+
+__all__ = ["analyze_experiment", "extract_foms", "ExperimentStatus"]
+
+
+class ExperimentStatus:
+    SUCCESS = "SUCCESS"
+    FAILED = "FAILED"
+    NOT_RUN = "NOT_RUN"
+
+
+def _coerce(value: str) -> Any:
+    """FOM values become numbers when they look like numbers."""
+    try:
+        f = float(value)
+    except ValueError:
+        return value
+    if f.is_integer() and ("." not in value and "e" not in value.lower()):
+        return int(f)
+    return f
+
+
+def extract_foms(app_cls: Type[ApplicationBase], text: str,
+                 extra_foms: List[FigureOfMeritDef] = ()) -> List[Dict[str, Any]]:
+    """All figure-of-merit matches in an output log.
+
+    ``extra_foms`` come from active modifiers (hardware counters etc.) and
+    are extracted alongside the application's own FOMs.
+    """
+    foms: List[Dict[str, Any]] = []
+    for fom in list(app_cls.figures_of_merit.values()) + list(extra_foms):
+        for value in fom.extract(text):
+            foms.append(
+                {
+                    "name": fom.name,
+                    "value": _coerce(value),
+                    "units": fom.units,
+                }
+            )
+    return foms
+
+
+def analyze_experiment(app_cls: Type[ApplicationBase], experiment,
+                       extra_foms: List[FigureOfMeritDef] = ()) -> Dict[str, Any]:
+    """Analyze one :class:`~repro.ramble.workspace.Experiment`."""
+    record: Dict[str, Any] = {
+        "name": experiment.name,
+        "application": experiment.application,
+        "workload": experiment.workload,
+        "n_ranks": experiment.variables.get("n_ranks"),
+        "variables": dict(experiment.variables),
+    }
+    if not experiment.log_file.exists():
+        record["status"] = ExperimentStatus.NOT_RUN
+        record["figures_of_merit"] = []
+        return record
+
+    text = experiment.log_file.read_text()
+    foms = extract_foms(app_cls, text, extra_foms)
+    record["figures_of_merit"] = foms
+
+    expander = Expander(experiment.variables)
+    status = ExperimentStatus.SUCCESS
+    criteria_results = []
+    criteria = list(app_cls.success_criteria.values())
+    # Experiment-specific criteria from ramble.yaml (Table 1 row 5's
+    # Experiment column) ride along on the Experiment object.
+    criteria += list(getattr(experiment, "success_criteria", []) or [])
+    for crit in criteria:
+        if crit.mode == "string":
+            # The criterion may point at a specific file; ours all resolve
+            # to the experiment log.
+            target = expander.expand(crit.file)
+            content = text
+            if target != str(experiment.log_file):
+                from pathlib import Path
+
+                p = Path(target)
+                content = p.read_text() if p.exists() else ""
+            passed = crit.check_text(content)
+        else:  # fom_comparison
+            values = [f["value"] for f in foms if f["name"] == crit.fom_name]
+            passed = crit.check_fom(values)
+        criteria_results.append({"criterion": crit.name, "passed": passed})
+        if not passed:
+            status = ExperimentStatus.FAILED
+    record["success_criteria"] = criteria_results
+    record["status"] = status
+    return record

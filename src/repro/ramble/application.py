@@ -1,0 +1,343 @@
+"""Application definitions — Ramble's ``application.py`` DSL (§3.2, Figure 8).
+
+An application definition is *benchmark-specific and system-agnostic*
+(Table 1, rows 3–5): it declares how to run the benchmark, what inputs it
+takes, and how to judge the result.  The paper's saxpy example maps 1:1::
+
+    class Saxpy(SpackApplication):
+        name = "saxpy"
+
+        executable("p", "saxpy -n {n}", use_mpi=True)
+        workload("problem", executables=["p"])
+        workload_variable("n", default="1", description="problem size",
+                          workloads=["problem"])
+        figure_of_merit("success", fom_regex=r"(?P<done>Kernel done)",
+                        group_name="done", units="")
+        success_criteria("pass", mode="string", match=r"Kernel done",
+                         file="{experiment_run_dir}/{experiment_name}.out")
+
+Directives register onto the class via the same deferred-directive machinery
+as the mini-Spack package DSL.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+__all__ = [
+    "ApplicationBase",
+    "SpackApplication",
+    "ExecutableDef",
+    "WorkloadDef",
+    "WorkloadVariableDef",
+    "FigureOfMeritDef",
+    "SuccessCriterionDef",
+    "executable",
+    "workload",
+    "workload_variable",
+    "figure_of_merit",
+    "success_criteria",
+    "input_file",
+    "software_spec",
+    "ApplicationError",
+]
+
+
+class ApplicationError(Exception):
+    pass
+
+
+class ExecutableDef:
+    """One command template of the application."""
+
+    def __init__(self, name: str, command: str, use_mpi: bool = False,
+                 redirect: str = "{log_file}"):
+        self.name = name
+        self.command = command
+        self.use_mpi = use_mpi
+        self.redirect = redirect
+
+    def __repr__(self):
+        return f"ExecutableDef({self.name!r}, {self.command!r}, mpi={self.use_mpi})"
+
+
+class WorkloadDef:
+    """A named workload: the executables it runs and its variables."""
+
+    def __init__(self, name: str, executables: Sequence[str],
+                 inputs: Sequence[str] = ()):
+        self.name = name
+        self.executables = list(executables)
+        self.inputs = list(inputs)
+        self.variables: Dict[str, "WorkloadVariableDef"] = {}
+
+    def __repr__(self):
+        return f"WorkloadDef({self.name!r}, executables={self.executables})"
+
+
+class WorkloadVariableDef:
+    """A tunable input parameter of a workload (paper §4.2)."""
+
+    def __init__(self, name: str, default: Any, description: str = "",
+                 values: Optional[Sequence[Any]] = None):
+        self.name = name
+        self.default = default
+        self.description = description
+        self.values = list(values) if values is not None else None
+
+    def __repr__(self):
+        return f"WorkloadVariableDef({self.name!r}, default={self.default!r})"
+
+
+class FigureOfMeritDef:
+    """A metric extracted from experiment output by regex (§4.5)."""
+
+    def __init__(self, name: str, fom_regex: str, group_name: str,
+                 units: str = "", log_file: str = "{log_file}",
+                 contexts: Sequence[str] = ()):
+        self.name = name
+        self.fom_regex = fom_regex
+        self.group_name = group_name
+        self.units = units
+        self.log_file = log_file
+        self.contexts = list(contexts)
+        try:
+            self._compiled = re.compile(fom_regex, re.MULTILINE)
+        except re.error as e:
+            raise ApplicationError(f"figure_of_merit {name!r}: bad regex: {e}")
+        if group_name not in self._compiled.groupindex:
+            raise ApplicationError(
+                f"figure_of_merit {name!r}: regex has no group {group_name!r}"
+            )
+
+    def extract(self, text: str) -> List[str]:
+        return [m.group(self.group_name) for m in self._compiled.finditer(text)]
+
+    def __repr__(self):
+        return f"FigureOfMeritDef({self.name!r})"
+
+
+class SuccessCriterionDef:
+    """Pass/fail rule for an experiment (§4.5).
+
+    Two modes, as in Ramble:
+
+    * ``string`` — pass iff ``match`` (a regex) appears in ``file``;
+    * ``fom_comparison`` — pass iff ``formula`` holds, where ``{value}``
+      expands to the extracted value of ``fom_name`` (e.g.
+      ``formula="{value} > 0.9"``).
+    """
+
+    def __init__(self, name: str, mode: str = "string", match: str = "",
+                 file: str = "{log_file}", fom_name: str = "",
+                 formula: str = ""):
+        if mode not in ("string", "fom_comparison"):
+            raise ApplicationError(f"success_criteria {name!r}: unknown mode {mode!r}")
+        if mode == "fom_comparison" and (not fom_name or not formula):
+            raise ApplicationError(
+                f"success_criteria {name!r}: fom_comparison needs fom_name "
+                f"and formula"
+            )
+        self.name = name
+        self.mode = mode
+        self.match = match
+        self.file = file
+        self.fom_name = fom_name
+        self.formula = formula
+
+    def check_text(self, text: str) -> bool:
+        if self.mode != "string":
+            raise ApplicationError(f"{self.name}: not a string criterion")
+        return re.search(self.match, text) is not None
+
+    def check_fom(self, fom_values: Sequence[Any]) -> bool:
+        """Evaluate the comparison formula against extracted FOM values;
+        every occurrence must pass, and at least one value must exist."""
+        if self.mode != "fom_comparison":
+            raise ApplicationError(f"{self.name}: not a fom_comparison criterion")
+        values = list(fom_values)
+        if not values:
+            return False
+        return all(
+            _eval_comparison(self.formula.replace("{value}", str(v)))
+            for v in values
+        )
+
+    def __repr__(self):
+        return f"SuccessCriterionDef({self.name!r}, mode={self.mode!r})"
+
+
+def _eval_comparison(text: str) -> bool:
+    """Safely evaluate a numeric comparison like '3.2 > 0.9' or
+    '10 <= 20 <= 30'."""
+    import ast
+    import operator as op
+
+    ops = {
+        ast.Gt: op.gt, ast.GtE: op.ge, ast.Lt: op.lt, ast.LtE: op.le,
+        ast.Eq: op.eq, ast.NotEq: op.ne,
+    }
+    arith = {
+        ast.Add: op.add, ast.Sub: op.sub, ast.Mult: op.mul, ast.Div: op.truediv,
+    }
+
+    def ev(node):
+        if isinstance(node, ast.Expression):
+            return ev(node.body)
+        if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+            return node.value
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            return -ev(node.operand)
+        if isinstance(node, ast.BinOp) and type(node.op) in arith:
+            return arith[type(node.op)](ev(node.left), ev(node.right))
+        if isinstance(node, ast.Compare):
+            left = ev(node.left)
+            for cmp_op, right_node in zip(node.ops, node.comparators):
+                if type(cmp_op) not in ops:
+                    raise ApplicationError(f"unsupported operator in {text!r}")
+                right = ev(right_node)
+                if not ops[type(cmp_op)](left, right):
+                    return False
+                left = right
+            return True
+        if isinstance(node, ast.BoolOp):
+            results = [ev(v) for v in node.values]
+            return all(results) if isinstance(node.op, ast.And) else any(results)
+        raise ApplicationError(f"unsupported expression in formula {text!r}")
+
+    try:
+        result = ev(ast.parse(text, mode="eval"))
+    except (SyntaxError, ValueError) as e:
+        raise ApplicationError(f"bad success formula {text!r}: {e}") from e
+    return bool(result)
+
+
+# ---------------------------------------------------------------------------
+# directive machinery (same deferred pattern as repro.spack.package)
+# ---------------------------------------------------------------------------
+_directive_stack: List[Callable[[type], None]] = []
+
+
+def executable(name: str, command: str, use_mpi: bool = False,
+               redirect: str = "{log_file}") -> None:
+    d = ExecutableDef(name, command, use_mpi=use_mpi, redirect=redirect)
+    _directive_stack.append(lambda cls: cls.executables.__setitem__(name, d))
+
+
+def workload(name: str, executables: Sequence[str], inputs: Sequence[str] = ()) -> None:
+    d = WorkloadDef(name, executables, inputs)
+    _directive_stack.append(lambda cls: cls.workloads.__setitem__(name, d))
+
+
+def workload_variable(name: str, default: Any, description: str = "",
+                      workloads: Sequence[str] = (),
+                      values: Optional[Sequence[Any]] = None) -> None:
+    d = WorkloadVariableDef(name, default, description, values)
+    wl_names = list(workloads)
+
+    def apply(cls):
+        targets = wl_names or list(cls.workloads)
+        for wname in targets:
+            if wname not in cls.workloads:
+                raise ApplicationError(
+                    f"workload_variable {name!r}: unknown workload {wname!r}"
+                )
+            cls.workloads[wname].variables[name] = d
+
+    _directive_stack.append(apply)
+
+
+def figure_of_merit(name: str, fom_regex: str, group_name: str,
+                    units: str = "", log_file: str = "{log_file}",
+                    contexts: Sequence[str] = ()) -> None:
+    d = FigureOfMeritDef(name, fom_regex, group_name, units, log_file, contexts)
+    _directive_stack.append(lambda cls: cls.figures_of_merit.__setitem__(name, d))
+
+
+def success_criteria(name: str, mode: str = "string", match: str = "",
+                     file: str = "{log_file}", fom_name: str = "",
+                     formula: str = "") -> None:
+    d = SuccessCriterionDef(name, mode, match, file, fom_name, formula)
+    _directive_stack.append(lambda cls: cls.success_criteria.__setitem__(name, d))
+
+
+def input_file(name: str, url: str, description: str = "") -> None:
+    _directive_stack.append(
+        lambda cls: cls.inputs.__setitem__(name, {"url": url, "description": description})
+    )
+
+
+def software_spec(name: str, pkg_spec: str) -> None:
+    """Default Spack spec for the application's software environment."""
+    _directive_stack.append(lambda cls: cls.software_specs.__setitem__(name, pkg_spec))
+
+
+class ApplicationMeta(type):
+    def __new__(mcs, name, bases, attrs):
+        cls = super().__new__(mcs, name, bases, attrs)
+        cls.executables = {}
+        cls.workloads = {}
+        cls.figures_of_merit = {}
+        cls.success_criteria = {}
+        cls.inputs = {}
+        cls.software_specs = {}
+        for base in reversed(bases):
+            cls.executables.update(getattr(base, "executables", {}))
+            for wname, wl in getattr(base, "workloads", {}).items():
+                clone = WorkloadDef(wl.name, wl.executables, wl.inputs)
+                clone.variables.update(wl.variables)
+                cls.workloads[wname] = clone
+            cls.figures_of_merit.update(getattr(base, "figures_of_merit", {}))
+            cls.success_criteria.update(getattr(base, "success_criteria", {}))
+            cls.inputs.update(getattr(base, "inputs", {}))
+            cls.software_specs.update(getattr(base, "software_specs", {}))
+        global _directive_stack
+        pending, _directive_stack = _directive_stack, []
+        for apply_fn in pending:
+            apply_fn(cls)
+        return cls
+
+
+class ApplicationBase(metaclass=ApplicationMeta):
+    """Base class for Ramble applications."""
+
+    #: application name; defaults to the lowercased class name
+    name = ""
+
+    @classmethod
+    def app_name(cls) -> str:
+        return cls.name or cls.__name__.lower()
+
+    @classmethod
+    def get_workload(cls, name: str) -> WorkloadDef:
+        try:
+            return cls.workloads[name]
+        except KeyError:
+            raise ApplicationError(
+                f"{cls.app_name()}: unknown workload {name!r}; "
+                f"available: {sorted(cls.workloads)}"
+            ) from None
+
+    @classmethod
+    def default_variables(cls, workload_name: str) -> Dict[str, Any]:
+        wl = cls.get_workload(workload_name)
+        return {n: v.default for n, v in wl.variables.items()}
+
+    @classmethod
+    def commands_for(cls, workload_name: str) -> List[ExecutableDef]:
+        wl = cls.get_workload(workload_name)
+        out = []
+        for ename in wl.executables:
+            if ename not in cls.executables:
+                raise ApplicationError(
+                    f"{cls.app_name()}: workload {workload_name!r} references "
+                    f"unknown executable {ename!r}"
+                )
+            out.append(cls.executables[ename])
+        return out
+
+
+class SpackApplication(ApplicationBase):
+    """An application whose software is provisioned through Spack —
+    the only flavour Benchpark uses."""

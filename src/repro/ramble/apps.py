@@ -1,0 +1,264 @@
+"""Builtin Ramble application definitions.
+
+One definition per benchmark, each *benchmark-specific and system-agnostic*
+(Table 1).  The Saxpy class transcribes the paper's Figure 8 verbatim; the
+others follow the same pattern for AMG2023, STREAM, and the OSU collectives.
+FOM regexes are written against the actual output of the runnable kernels in
+:mod:`repro.benchmarks`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from .application import (
+    ApplicationBase,
+    ApplicationError,
+    SpackApplication,
+    executable,
+    figure_of_merit,
+    software_spec,
+    success_criteria,
+    workload,
+    workload_variable,
+)
+
+__all__ = ["Saxpy", "Amg2023", "Stream", "OsuMicroBenchmarks",
+           "Quicksilver", "ApplicationRepository", "builtin_applications"]
+
+
+class Saxpy(SpackApplication):
+    """The paper's Figure 8 application definition, verbatim."""
+
+    name = "saxpy"
+
+    executable("p", "saxpy -n {n}", use_mpi=True)
+    workload("problem", executables=["p"])
+    workload_variable(
+        "n",
+        default="1",
+        description="problem size",
+        workloads=["problem"],
+    )
+    figure_of_merit(
+        "success",
+        fom_regex=r"(?P<done>Kernel done)",
+        group_name="done",
+        units="",
+    )
+    figure_of_merit(
+        "kernel_time",
+        fom_regex=r"saxpy kernel time: (?P<time>[0-9.eE+-]+) s",
+        group_name="time",
+        units="s",
+    )
+    figure_of_merit(
+        "bandwidth",
+        fom_regex=r"saxpy bandwidth: (?P<bw>[0-9.eE+-]+) GB/s",
+        group_name="bw",
+        units="GB/s",
+    )
+    success_criteria(
+        "pass",
+        mode="string",
+        match=r"Kernel done",
+        file="{experiment_run_dir}/{experiment_name}.out",
+    )
+    software_spec("saxpy", "saxpy@1.0.0")
+
+
+class Amg2023(SpackApplication):
+    """AMG2023 [21]: parallel algebraic multigrid benchmark."""
+
+    name = "amg2023"
+
+    executable("amg", "amg -problem {problem} -n {n} -ranks {n_ranks}",
+               use_mpi=True)
+    workload("problem1", executables=["amg"])
+    workload("problem2", executables=["amg"])
+    workload_variable("problem", default="1", description="problem selector",
+                      workloads=["problem1"])
+    workload_variable("problem", default="2", description="problem selector",
+                      workloads=["problem2"])
+    workload_variable("n", default="16",
+                      description="grid points per dimension",
+                      workloads=["problem1", "problem2"])
+    figure_of_merit(
+        "fom_setup",
+        fom_regex=r"Figure of Merit \(FOM_Setup\): (?P<fom>[0-9.eE+-]+)",
+        group_name="fom",
+        units="nnz/s",
+    )
+    figure_of_merit(
+        "fom_solve",
+        fom_regex=r"Figure of Merit \(FOM_Solve\): (?P<fom>[0-9.eE+-]+)",
+        group_name="fom",
+        units="nnz*iter/s",
+    )
+    figure_of_merit(
+        "iterations",
+        fom_regex=r"iterations: (?P<it>\d+)",
+        group_name="it",
+        units="",
+    )
+    figure_of_merit(
+        "solve_time",
+        fom_regex=r"solve time: (?P<t>[0-9.eE+-]+) s",
+        group_name="t",
+        units="s",
+    )
+    success_criteria(
+        "converged",
+        mode="string",
+        match=r"solver converged",
+        file="{experiment_run_dir}/{experiment_name}.out",
+    )
+    software_spec("amg2023", "amg2023@1.2")
+
+
+class Stream(SpackApplication):
+    """STREAM memory-bandwidth microbenchmark."""
+
+    name = "stream"
+
+    executable("stream", "stream -n {array_size} --ntimes {ntimes}",
+               use_mpi=False)
+    workload("standard", executables=["stream"])
+    workload_variable("array_size", default="1000000",
+                      description="elements per array", workloads=["standard"])
+    workload_variable("ntimes", default="10", description="iterations",
+                      workloads=["standard"])
+    figure_of_merit(
+        "triad_bw",
+        fom_regex=r"Triad:\s+(?P<rate>[0-9.]+)",
+        group_name="rate",
+        units="MB/s",
+    )
+    figure_of_merit(
+        "copy_bw",
+        fom_regex=r"Copy:\s+(?P<rate>[0-9.]+)",
+        group_name="rate",
+        units="MB/s",
+    )
+    success_criteria(
+        "validates",
+        mode="string",
+        match=r"Solution Validates",
+        file="{experiment_run_dir}/{experiment_name}.out",
+    )
+    software_spec("stream", "stream@5.10")
+
+
+class OsuMicroBenchmarks(SpackApplication):
+    """OSU collective latency tests (the Figure 14 workload)."""
+
+    name = "osu-micro-benchmarks"
+
+    executable(
+        "bcast",
+        "osu_bcast --op {collective} --ranks {n_ranks} "
+        "--max-size {max_size} --iterations {iterations}",
+        use_mpi=True,
+    )
+    workload("collective", executables=["bcast"])
+    workload_variable("collective", default="bcast",
+                      description="which collective to time",
+                      workloads=["collective"])
+    workload_variable("max_size", default="65536",
+                      description="largest message size in bytes",
+                      workloads=["collective"])
+    workload_variable("iterations", default="100",
+                      description="repetitions per size",
+                      workloads=["collective"])
+    figure_of_merit(
+        "total_time",
+        fom_regex=r"Total time: (?P<t>[0-9.eE+-]+) s",
+        group_name="t",
+        units="s",
+    )
+    figure_of_merit(
+        "latency_8b",
+        fom_regex=r"^8\s+(?P<lat>[0-9.]+)$",
+        group_name="lat",
+        units="us",
+    )
+    success_criteria(
+        "complete",
+        mode="string",
+        match=r"Benchmark complete",
+        file="{experiment_run_dir}/{experiment_name}.out",
+    )
+    software_spec("osu-micro-benchmarks", "osu-micro-benchmarks@7.2")
+
+
+class Quicksilver(SpackApplication):
+    """Quicksilver-class Monte Carlo transport proxy (ECP suite, §7)."""
+
+    name = "quicksilver"
+
+    executable("qs", "qs -n {n_particles} --slab {slab} --ranks {n_ranks}",
+               use_mpi=True)
+    workload("slab", executables=["qs"])
+    workload_variable("n_particles", default="100000",
+                      description="particle count", workloads=["slab"])
+    workload_variable("slab", default="10.0",
+                      description="slab width in mean free paths",
+                      workloads=["slab"])
+    figure_of_merit(
+        "fom_segments",
+        fom_regex=r"Figure Of Merit: (?P<fom>[0-9.eE+-]+) segments/s",
+        group_name="fom",
+        units="segments/s",
+    )
+    figure_of_merit(
+        "segments",
+        fom_regex=r"segments: (?P<seg>\d+)",
+        group_name="seg",
+        units="",
+    )
+    success_criteria(
+        "complete",
+        mode="string",
+        match=r"MC done",
+        file="{experiment_run_dir}/{experiment_name}.out",
+    )
+    software_spec("quicksilver", "quicksilver@1.0")
+
+
+class ApplicationRepository:
+    """Registry of application definitions (Ramble's app repo + Benchpark's
+    ``repo/`` overlay, Figure 1a lines 41–48)."""
+
+    def __init__(self):
+        self._apps: Dict[str, Type[ApplicationBase]] = {}
+
+    def register(self, cls: Type[ApplicationBase]) -> Type[ApplicationBase]:
+        self._apps[cls.app_name()] = cls
+        return cls
+
+    def get(self, name: str) -> Type[ApplicationBase]:
+        try:
+            return self._apps[name]
+        except KeyError:
+            raise ApplicationError(
+                f"unknown application {name!r}; known: {sorted(self._apps)}"
+            ) from None
+
+    def exists(self, name: str) -> bool:
+        return name in self._apps
+
+    def all_names(self) -> List[str]:
+        return sorted(self._apps)
+
+
+_builtin: Optional[ApplicationRepository] = None
+
+
+def builtin_applications() -> ApplicationRepository:
+    global _builtin
+    if _builtin is None:
+        repo = ApplicationRepository()
+        for cls in (Saxpy, Amg2023, Stream, OsuMicroBenchmarks, Quicksilver):
+            repo.register(cls)
+        _builtin = repo
+    return _builtin

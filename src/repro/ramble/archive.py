@@ -1,0 +1,103 @@
+"""Workspace archives — "an exact specification of the experiments" (§5).
+
+"Benchpark produces an exact specification of the experiments, including
+application-specific, system-specific, and experiment-specific manifests
+that enable functional reproducibility of these experiments.  Storing the
+Benchpark manifest with the performance results will enable introspection
+into benchmark performance across systems and time."
+
+An archive is a self-contained JSON bundle of everything needed to re-run a
+workspace: the ramble.yaml configuration, the execution template, the
+concrete software specs (the Spack lock), the generated experiment set,
+and — if present — the analysis results.  Its content hash is the identity
+collaborators exchange: same manifest hash ⇒ same experiments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+from .workspace import Workspace
+
+__all__ = ["archive_workspace", "restore_workspace", "manifest_hash", "ArchiveError"]
+
+ARCHIVE_VERSION = 1
+
+
+class ArchiveError(RuntimeError):
+    pass
+
+
+def archive_workspace(ws: Workspace) -> Dict[str, Any]:
+    """Bundle a workspace into a portable manifest+results archive."""
+    bundle: Dict[str, Any] = {
+        "archive_version": ARCHIVE_VERSION,
+        "config": ws.read_config(),
+        "template": ws.template_path.read_text(),
+        "experiments": [
+            {
+                "name": e.name,
+                "application": e.application,
+                "workload": e.workload,
+                "variables": dict(e.variables),
+                "software": [s.to_node_dict(deps=True) for s in e.env_specs],
+            }
+            for e in ws.experiments
+        ],
+    }
+    results_path = ws.path / "results.latest.json"
+    if results_path.exists():
+        bundle["results"] = json.loads(results_path.read_text())
+    bundle["manifest_hash"] = manifest_hash(bundle)
+    return bundle
+
+
+def manifest_hash(bundle: Dict[str, Any]) -> str:
+    """Content hash of the *specification* part of an archive (config,
+    template, software) — results deliberately excluded, so two runs of the
+    same specification share a manifest identity."""
+    payload = {
+        "archive_version": bundle.get("archive_version", ARCHIVE_VERSION),
+        "config": bundle.get("config"),
+        "template": bundle.get("template"),
+        "software": [e.get("software") for e in bundle.get("experiments", [])],
+    }
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def save_archive(bundle: Dict[str, Any], path: Path | str) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(bundle, indent=2, sort_keys=True))
+    return path
+
+
+def load_archive(path: Path | str) -> Dict[str, Any]:
+    bundle = json.loads(Path(path).read_text())
+    if bundle.get("archive_version") != ARCHIVE_VERSION:
+        raise ArchiveError(
+            f"unsupported archive version {bundle.get('archive_version')!r}"
+        )
+    recomputed = manifest_hash(bundle)
+    if bundle.get("manifest_hash") != recomputed:
+        raise ArchiveError(
+            f"archive manifest hash mismatch: recorded "
+            f"{bundle.get('manifest_hash')!r}, recomputed {recomputed!r} — "
+            f"the specification was modified after archiving"
+        )
+    return bundle
+
+
+def restore_workspace(bundle: Dict[str, Any], path: Path | str) -> Workspace:
+    """Recreate a runnable workspace from an archive (the collaborator's
+    side of the §7.1 exchange).  The restored workspace re-runs setup from
+    the archived specification; functional reproducibility means the
+    resulting experiment set matches the archived one exactly."""
+    if "config" not in bundle or "template" not in bundle:
+        raise ArchiveError("archive is missing config/template")
+    ws = Workspace.create(path, config=bundle["config"],
+                          template=bundle["template"])
+    return ws

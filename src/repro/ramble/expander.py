@@ -1,0 +1,138 @@
+"""Variable expansion — Ramble's ``{var}`` templating engine (§3.2).
+
+Every string in ``ramble.yaml``, ``variables.yaml`` and template files may
+reference variables with ``{name}`` (Figures 10, 12, 13).  Expansion is
+
+* **recursive** — a variable's value may itself contain references
+  (``mpi_command: 'srun -N {n_nodes} -n {n_ranks}'`` where
+  ``n_ranks: '{processes_per_node}*{n_nodes}'``);
+* **arithmetic-aware** — after substitution, a value that is a pure
+  arithmetic expression is evaluated (``'8*2'`` → ``'16'``), which is how
+  Ramble derives rank counts from node counts;
+* **cycle-checked** — self-referential definitions raise instead of hanging.
+"""
+
+from __future__ import annotations
+
+import ast
+import operator
+import re
+from typing import Any, Dict, Mapping, Optional, Set
+
+__all__ = ["Expander", "ExpansionError"]
+
+_REF_RE = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}")
+
+_BINOPS = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.FloorDiv: operator.floordiv,
+    ast.Mod: operator.mod,
+    ast.Pow: operator.pow,
+}
+_UNARYOPS = {ast.UAdd: operator.pos, ast.USub: operator.neg}
+
+
+class ExpansionError(KeyError):
+    """Undefined variable, cycle, or malformed arithmetic."""
+
+
+def _safe_eval(text: str) -> Optional[Any]:
+    """Evaluate a pure-arithmetic expression; None if it isn't one."""
+    try:
+        tree = ast.parse(text, mode="eval")
+    except SyntaxError:
+        return None
+
+    def ev(node):
+        if isinstance(node, ast.Expression):
+            return ev(node.body)
+        if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+            return node.value
+        if isinstance(node, ast.BinOp) and type(node.op) in _BINOPS:
+            return _BINOPS[type(node.op)](ev(node.left), ev(node.right))
+        if isinstance(node, ast.UnaryOp) and type(node.op) in _UNARYOPS:
+            return _UNARYOPS[type(node.op)](ev(node.operand))
+        raise ValueError("not arithmetic")
+
+    try:
+        return ev(tree)
+    except (ValueError, ZeroDivisionError, TypeError, OverflowError):
+        return None
+
+
+class Expander:
+    """Expands ``{var}`` references against a variable mapping."""
+
+    def __init__(self, variables: Mapping[str, Any]):
+        self.variables: Dict[str, Any] = dict(variables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.variables
+
+    def set(self, name: str, value: Any) -> None:
+        self.variables[name] = value
+
+    def expand_var(self, name: str) -> str:
+        """Fully expand the variable ``name``."""
+        if name not in self.variables:
+            raise ExpansionError(f"undefined variable {name!r}")
+        return self.expand(str(self.variables[name]), _active={name})
+
+    def expand(self, text: str, _active: Optional[Set[str]] = None) -> str:
+        """Fully expand a string, resolving references recursively and
+        evaluating arithmetic once no references remain."""
+        active = set(_active or ())
+        out = self._expand_refs(str(text), active)
+        if _is_arith_expr(out):
+            return self._fmt(_safe_eval(out))
+        return out
+
+    def _expand_refs(self, text: str, active: Set[str]) -> str:
+        def repl(m: re.Match) -> str:
+            name = m.group(1)
+            if name in active:
+                raise ExpansionError(
+                    f"cyclic variable definition involving {name!r}"
+                )
+            if name not in self.variables:
+                raise ExpansionError(f"undefined variable {name!r}")
+            inner = str(self.variables[name])
+            expanded = self._expand_refs(inner, active | {name})
+            val = _safe_eval(expanded)
+            if val is not None and _is_arith_expr(expanded):
+                return self._fmt(val)
+            return expanded
+
+        prev = None
+        while prev != text:
+            prev = text
+            text = _REF_RE.sub(repl, text)
+        return text
+
+    @staticmethod
+    def _fmt(value: Any) -> str:
+        if isinstance(value, float) and value.is_integer():
+            return str(int(value))
+        return str(value)
+
+    def expand_all(self) -> Dict[str, str]:
+        """Expand every variable; handy for rendering full contexts."""
+        return {name: self.expand_var(name) for name in self.variables}
+
+    def copy_with(self, extra: Mapping[str, Any]) -> "Expander":
+        merged = dict(self.variables)
+        merged.update(extra)
+        return Expander(merged)
+
+
+def _is_arith_expr(text: str) -> bool:
+    """True for strings like '8*2' or '3 + 4', not bare literals like '8'
+    or '1.0.0' (version strings must survive expansion untouched)."""
+    stripped = text.strip()
+    if not any(op in stripped for op in "+-*/%"):
+        return False
+    # Avoid treating flag-like strings ('-n 8') or paths as arithmetic:
+    return _safe_eval(stripped) is not None

@@ -1,0 +1,107 @@
+"""Experiment matrix expansion (Figure 10's ``matrices`` section).
+
+Ramble generates the set of concrete experiments from an experiment
+template's variables:
+
+* a variable whose value is a **list** contributes multiple values;
+* variables named in a **matrix** are *crossed* (cartesian product) with the
+  other variables of that matrix;
+* multiple matrices are crossed with each other;
+* list variables **not** in any matrix are *zipped* together (they must all
+  have the same length — Ramble errors otherwise);
+* scalar variables are constant across all experiments.
+
+Figure 10's example: ``n`` × ``n_threads`` crossed by the ``size_threads``
+matrix (2 × 2 = 4), zipped with ``processes_per_node``/``n_nodes`` (length
+2) → 8 experiments, exactly what we reproduce in the bench for Figure 10.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Mapping, Sequence
+
+__all__ = ["expand_matrix", "MatrixError"]
+
+
+class MatrixError(ValueError):
+    pass
+
+
+def expand_matrix(
+    variables: Mapping[str, Any],
+    matrices: Sequence[Mapping[str, Sequence[str]] | Sequence[str]] = (),
+) -> List[Dict[str, Any]]:
+    """Expand variables (+ matrix declarations) into experiment vectors.
+
+    ``matrices`` accepts Ramble's YAML shapes: either a list of variable
+    names, or a single-key mapping {matrix_name: [variable names]}.
+
+    Returns one dict of scalar variable values per concrete experiment.
+    """
+    matrix_groups: List[List[str]] = []
+    for entry in matrices:
+        if isinstance(entry, Mapping):
+            if len(entry) != 1:
+                raise MatrixError(
+                    f"matrix entry must have exactly one name: {entry!r}"
+                )
+            (names,) = entry.values()
+        else:
+            names = list(entry)
+        if not names:
+            raise MatrixError("empty matrix")
+        matrix_groups.append([str(n) for n in names])
+
+    seen: set = set()
+    for group in matrix_groups:
+        for name in group:
+            if name in seen:
+                raise MatrixError(f"variable {name!r} appears in two matrices")
+            if name not in variables:
+                raise MatrixError(f"matrix references undefined variable {name!r}")
+            if not isinstance(variables[name], list):
+                raise MatrixError(
+                    f"matrix variable {name!r} must have a list value"
+                )
+            seen.add(name)
+
+    scalars = {
+        k: v for k, v in variables.items() if not isinstance(v, list)
+    }
+    zipped_names = [
+        k for k, v in variables.items() if isinstance(v, list) and k not in seen
+    ]
+
+    # Zipped variables must agree on length.
+    if zipped_names:
+        lengths = {len(variables[k]) for k in zipped_names}
+        if len(lengths) > 1:
+            detail = {k: len(variables[k]) for k in zipped_names}
+            raise MatrixError(
+                f"list variables outside matrices must have equal lengths, "
+                f"got {detail}"
+            )
+        zip_count = lengths.pop()
+    else:
+        zip_count = 1
+
+    # Each matrix contributes the cross product of its variables' values.
+    matrix_products: List[List[Dict[str, Any]]] = []
+    for group in matrix_groups:
+        rows = [
+            dict(zip(group, combo))
+            for combo in itertools.product(*(variables[n] for n in group))
+        ]
+        matrix_products.append(rows)
+
+    experiments: List[Dict[str, Any]] = []
+    for zip_idx in range(zip_count):
+        zip_values = {k: variables[k][zip_idx] for k in zipped_names}
+        for combo in itertools.product(*matrix_products) if matrix_products else [()]:
+            vector = dict(scalars)
+            vector.update(zip_values)
+            for row in combo:
+                vector.update(row)
+            experiments.append(vector)
+    return experiments

@@ -1,0 +1,44 @@
+"""Template rendering — ``execute_experiment.tpl`` (Figure 13).
+
+A workspace carries at least one template execution script; every experiment
+gets a copy with all ``{var}`` references instantiated from the merged
+variable stack (ramble.yaml + variables.yaml + experiment context).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .expander import Expander, ExpansionError
+
+__all__ = ["render_template", "DEFAULT_EXECUTE_TEMPLATE", "TemplateError"]
+
+
+class TemplateError(ValueError):
+    pass
+
+
+#: The paper's Figure 13 template, verbatim.
+DEFAULT_EXECUTE_TEMPLATE = """\
+#!/bin/bash
+{batch_nodes}
+{batch_ranks}
+{batch_timeout}
+cd {experiment_run_dir}
+{spack_setup}
+{command}
+"""
+
+
+def render_template(template: str, variables: Mapping[str, object]) -> str:
+    """Instantiate a template against a variable mapping.
+
+    Unlike ad-hoc ``str.format``, rendering goes through the Ramble
+    expander, so nested references and arithmetic work; undefined
+    variables raise :class:`TemplateError` naming the culprit.
+    """
+    expander = Expander(variables)
+    try:
+        return expander.expand(template)
+    except ExpansionError as e:
+        raise TemplateError(f"template rendering failed: {e.args[0]}") from e

@@ -1,0 +1,95 @@
+"""Binary cache / build mirror (§3.1 component 4, §7.2 "rolling binary cache").
+
+The paper notes that Spack's build pipeline publishes a rolling binary cache
+through Amazon CloudFront so users only build packages with special
+requirements.  We model that with a content-addressed object store keyed by
+DAG hash: ``push`` after a source build, ``fetch`` before building.
+
+The backing store may be shared with the CI substrate's
+:class:`repro.ci.objectstore.ObjectStore`, which is how the Figure 6
+automation loop shares binaries between CI builders and benchmark runners.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Protocol
+
+from .spec import Spec
+
+__all__ = ["BinaryCache", "CacheStats"]
+
+
+class _ObjectStore(Protocol):
+    def put(self, key: str, data: bytes) -> None: ...
+    def get(self, key: str) -> Optional[bytes]: ...
+    def has(self, key: str) -> bool: ...
+
+
+class _DictStore:
+    """Default in-memory backend."""
+
+    def __init__(self):
+        self._data: Dict[str, bytes] = {}
+
+    def put(self, key: str, data: bytes) -> None:
+        self._data[key] = data
+
+    def get(self, key: str) -> Optional[bytes]:
+        return self._data.get(key)
+
+    def has(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self):
+        return len(self._data)
+
+
+class CacheStats:
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.pushes = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self):
+        return f"CacheStats(hits={self.hits}, misses={self.misses}, pushes={self.pushes})"
+
+
+class BinaryCache:
+    """Content-addressed cache of built package binaries."""
+
+    def __init__(self, backend: Optional[_ObjectStore] = None):
+        # `backend or _DictStore()` would discard an *empty* store whose
+        # __len__ is 0 — compare against None explicitly.
+        self.backend: _ObjectStore = backend if backend is not None else _DictStore()
+        self.stats = CacheStats()
+
+    @staticmethod
+    def _key(spec: Spec) -> str:
+        return f"buildcache/{spec.name}/{spec.dag_hash()}.spack"
+
+    def push(self, spec: Spec, artifacts: Dict[str, str]) -> None:
+        """Publish a built spec's artifacts to the cache."""
+        payload = json.dumps(
+            {"spec": spec.to_node_dict(deps=True), "artifacts": artifacts},
+            sort_keys=True,
+        ).encode()
+        self.backend.put(self._key(spec), payload)
+        self.stats.pushes += 1
+
+    def has(self, spec: Spec) -> bool:
+        return self.backend.has(self._key(spec))
+
+    def fetch(self, spec: Spec) -> Optional[Dict[str, str]]:
+        """Artifacts for a cached spec, or None (recording hit/miss stats)."""
+        raw = self.backend.get(self._key(spec))
+        if raw is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return json.loads(raw.decode())["artifacts"]

@@ -1,0 +1,320 @@
+"""The builtin package repository.
+
+Contains every package the paper's demonstration needs: the two Benchpark
+benchmarks (saxpy §4, AMG2023 [21]), the toolchain (cmake, gcc runtime), MPI
+implementations (mvapich2, openmpi, cray-mpich — all ``provides('mpi')``),
+math libraries (intel-oneapi-mkl, openblas — ``provides('blas','lapack')``),
+hypre, GPU runtimes (cuda, hip), and the analysis stack (caliper, adiak).
+
+Versions/variants mirror the real Spack recipes closely enough that the
+paper's example specs (``amg2023+caliper``, ``saxpy@1.0.0 +openmp
+^cmake@3.23.1``, ``mvapich2@2.3.7-gcc12.1.1-magic``,
+``intel-oneapi-mkl@2022.1.0``) concretize as printed in Figures 2–4 and 9–11.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .package import (
+    AutotoolsPackage,
+    BundlePackage,
+    CMakePackage,
+    CudaPackage,
+    MakefilePackage,
+    Package,
+    ROCmPackage,
+    depends_on,
+    provides,
+    variant,
+    version,
+)
+from .repository import Repository
+
+__all__ = ["make_repo"]
+
+
+# --------------------------------------------------------------------------
+# Toolchain
+# --------------------------------------------------------------------------
+class Cmake(Package):
+    """CMake build system generator."""
+
+    homepage = "https://cmake.org"
+
+    version("3.27.4")
+    version("3.26.3")
+    version("3.23.1")
+    version("3.20.0")
+
+
+class Gmake(Package):
+    """GNU make."""
+
+    version("4.4.1")
+    version("4.3")
+
+
+class Python(Package):
+    """CPython interpreter (as a build/run dependency)."""
+
+    version("3.11.7")
+    version("3.10.8")
+
+
+# --------------------------------------------------------------------------
+# MPI providers (virtual: mpi)
+# --------------------------------------------------------------------------
+class Mvapich2(AutotoolsPackage):
+    """MVAPICH2 MPI library (default MPI on cts1 in the paper, Fig 4)."""
+
+    provides("mpi")
+
+    version("2.3.7-gcc12.1.1-magic")
+    version("2.3.7")
+    version("2.3.6")
+
+    variant("wrapperrpath", default=True, description="Enable wrapper rpath")
+
+
+class Openmpi(AutotoolsPackage):
+    """Open MPI library."""
+
+    provides("mpi")
+
+    version("4.1.5")
+    version("4.1.2")
+
+    variant("cuda", default=False, description="CUDA-aware transports")
+
+
+class CrayMpich(Package):
+    """HPE/Cray MPICH (ats4-style systems)."""
+
+    provides("mpi")
+
+    version("8.1.26")
+    version("8.1.21")
+
+
+class SpectrumMpi(Package):
+    """IBM Spectrum MPI (ats2/Sierra-class systems)."""
+
+    provides("mpi")
+
+    version("10.4.0.6")
+    version("10.3.1.2")
+
+
+# --------------------------------------------------------------------------
+# Math libraries (virtuals: blas, lapack)
+# --------------------------------------------------------------------------
+class IntelOneapiMkl(Package):
+    """Intel oneAPI Math Kernel Library (external on cts1, Fig 4)."""
+
+    provides("blas")
+    provides("lapack")
+
+    version("2023.2.0")
+    version("2022.1.0")
+
+    variant("ilp64", default=False, description="64-bit integer interface")
+
+
+class Openblas(MakefilePackage):
+    """OpenBLAS: optimized BLAS/LAPACK."""
+
+    provides("blas")
+    provides("lapack")
+
+    version("0.3.23")
+    version("0.3.20")
+
+    variant("threads", default="none", values=("none", "openmp", "pthreads"),
+            description="Threading model")
+
+
+# --------------------------------------------------------------------------
+# GPU runtimes
+# --------------------------------------------------------------------------
+class Cuda(Package):
+    """NVIDIA CUDA toolkit."""
+
+    version("12.2.0")
+    version("11.8.0")
+    version("11.2.0")
+
+
+class Hip(CMakePackage):
+    """AMD HIP / ROCm runtime."""
+
+    version("5.7.1")
+    version("5.4.3")
+    version("5.2.0")
+
+
+# --------------------------------------------------------------------------
+# Analysis stack (paper §5)
+# --------------------------------------------------------------------------
+class Caliper(CMakePackage):
+    """Caliper: performance introspection library [19]."""
+
+    version("2.10.0")
+    version("2.9.0")
+
+    variant("adiak", default=True, description="Enable Adiak metadata")
+    variant("mpi", default=True, description="Enable MPI support")
+
+    depends_on("adiak@0.2:", when="+adiak")
+    depends_on("mpi", when="+mpi")
+
+
+class Adiak(CMakePackage):
+    """Adiak: run metadata collection [20]."""
+
+    version("0.4.0")
+    version("0.2.2")
+
+
+# --------------------------------------------------------------------------
+# Benchmarks (paper §4)
+# --------------------------------------------------------------------------
+class Saxpy(CMakePackage, CudaPackage, ROCmPackage):
+    """Test saxpy problem (paper Figure 11, verbatim semantics)."""
+
+    version("1.0.0")
+
+    variant("openmp", default=True, description="OpenMP")
+
+    depends_on("mpi")
+
+    def cmake_args(self) -> List[str]:
+        spec = self.spec
+        args = []
+        if "openmp" in spec.variants and spec.variants["openmp"]:
+            args.append("-DUSE_OPENMP=ON")
+        if spec.variants.get("cuda"):
+            args.append("-DUSE_CUDA=ON")
+        if spec.variants.get("rocm"):
+            args.append("-DUSE_HIP=ON")
+        return args
+
+
+class Hypre(AutotoolsPackage, CudaPackage, ROCmPackage):
+    """HYPRE: scalable linear solvers (AMG2023's engine)."""
+
+    version("2.28.0")
+    version("2.26.0")
+    version("2.24.0")
+
+    variant("openmp", default=False, description="OpenMP threading")
+    variant("mixedint", default=False, description="Mixed 32/64-bit integers")
+
+    depends_on("mpi")
+    depends_on("blas")
+    depends_on("lapack")
+
+
+class Amg2023(CMakePackage, CudaPackage, ROCmPackage):
+    """AMG2023: parallel algebraic multigrid benchmark [21]."""
+
+    version("1.2")
+    version("1.1")
+    version("1.0")
+
+    variant("openmp", default=False, description="OpenMP threading")
+    variant("caliper", default=False, description="Caliper annotations")
+
+    depends_on("mpi")
+    depends_on("hypre@2.24:")
+    depends_on("caliper", when="+caliper")
+    depends_on("adiak", when="+caliper")
+    depends_on("hypre+cuda", when="+cuda")
+    depends_on("hypre+rocm", when="+rocm")
+    # Propagate GPU architectures to hypre, as the real recipe does with
+    # a loop over CudaPackage.cuda_arch_values.
+    for _arch in ("60", "70", "80", "90"):
+        depends_on(f"hypre cuda_arch={_arch}", when=f"cuda_arch={_arch}")
+    for _arch in ("gfx906", "gfx908", "gfx90a", "gfx942"):
+        depends_on(f"hypre amdgpu_target={_arch}", when=f"amdgpu_target={_arch}")
+
+    def cmake_args(self) -> List[str]:
+        args = []
+        if self.spec.variants.get("caliper"):
+            args.append("-DAMG_WITH_CALIPER=ON")
+        if self.spec.variants.get("openmp"):
+            args.append("-DAMG_WITH_OMP=ON")
+        return args
+
+
+class Stream(MakefilePackage):
+    """STREAM memory bandwidth benchmark (extension)."""
+
+    version("5.10")
+
+    variant("openmp", default=True, description="OpenMP threading")
+    variant("ntimes", default="10", values=None, description="Repetitions")
+
+
+class OsuMicroBenchmarks(AutotoolsPackage):
+    """OSU MPI micro-benchmarks (collective latency; drives Fig 14)."""
+
+    version("7.2")
+    version("6.2")
+
+    depends_on("mpi")
+
+    variant("graphing", default=False, description="Enable plot output")
+
+
+class Quicksilver(CMakePackage, CudaPackage):
+    """Quicksilver: ECP Monte Carlo transport proxy app."""
+
+    version("1.0")
+
+    variant("openmp", default=True, description="OpenMP threading")
+
+    depends_on("mpi")
+
+
+class Benchsuite(BundlePackage):
+    """Meta-package pulling in the full Benchpark demonstration suite."""
+
+    version("1.0")
+
+    depends_on("saxpy")
+    depends_on("amg2023")
+    depends_on("osu-micro-benchmarks")
+    depends_on("quicksilver")
+
+
+_ALL_PACKAGE_CLASSES = [
+    Cmake,
+    Gmake,
+    Python,
+    Mvapich2,
+    Openmpi,
+    CrayMpich,
+    SpectrumMpi,
+    IntelOneapiMkl,
+    Openblas,
+    Cuda,
+    Hip,
+    Caliper,
+    Adiak,
+    Saxpy,
+    Hypre,
+    Amg2023,
+    Stream,
+    OsuMicroBenchmarks,
+    Quicksilver,
+    Benchsuite,
+]
+
+
+def make_repo() -> Repository:
+    """Construct the builtin repository with every package registered."""
+    repo = Repository("builtin")
+    for cls in _ALL_PACKAGE_CLASSES:
+        repo.register(cls)
+    return repo

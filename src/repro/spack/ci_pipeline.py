@@ -1,0 +1,97 @@
+"""``spack ci generate`` — turn an environment into a CI build pipeline.
+
+§7.2: "the Spack build pipeline and rolling binary cache makes packages
+available to all Spack users around the globe".  The real mechanism is
+``spack ci generate``: from a concretized environment, emit a GitLab CI
+pipeline with **one job per package**, wired with ``needs:`` edges along
+the dependency DAG, where each job installs its spec and pushes the binary
+to the cache.  Already-cached specs are pruned (rebuild filtering), which
+is exactly how the rolling cache keeps pipelines incremental.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import yaml
+
+from .binary_cache import BinaryCache
+from .environment import Environment
+from .spec import Spec, SpecError
+
+__all__ = ["generate_ci_pipeline", "job_name_for"]
+
+
+def job_name_for(spec: Spec) -> str:
+    """Stable CI job name for one concrete spec."""
+    return f"{spec.name}-{spec.dag_hash(7)}"
+
+
+def generate_ci_pipeline(
+    env: Environment,
+    tags: Optional[List[str]] = None,
+    binary_cache: Optional[BinaryCache] = None,
+    stage_name: str = "build",
+) -> str:
+    """Emit a ``.gitlab-ci.yml`` that rebuilds the environment's lockfile.
+
+    * one job per unique DAG node, named ``<name>-<hash7>``;
+    * ``needs:`` edges mirror direct dependencies (externals are free and
+      get no job);
+    * with a ``binary_cache``, specs already cached are pruned and their
+      dependents' needs drop with them — the rebuild filter;
+    * each job's script is the spack command a runner would execute.
+
+    Raises :class:`SpecError` if the environment is not concretized.
+    """
+    if not env.concrete_roots:
+        raise SpecError(
+            "environment is not concretized; run concretize() before "
+            "generating a CI pipeline"
+        )
+
+    nodes: Dict[str, Spec] = {}
+    for root in env.concrete_roots:
+        for node in root.traverse():
+            if node.external:
+                continue  # provided by the system, nothing to build
+            nodes[node.dag_hash()] = node
+
+    cached = {
+        h for h, node in nodes.items()
+        if binary_cache is not None and binary_cache.has(node)
+    }
+
+    config: Dict[str, object] = {"stages": [stage_name]}
+    jobs_emitted = 0
+    for h, node in sorted(nodes.items(), key=lambda kv: kv[1].name):
+        if h in cached:
+            continue
+        needs = [
+            job_name_for(dep)
+            for dep in node.dependencies.values()
+            if not dep.external and dep.dag_hash() in nodes
+            and dep.dag_hash() not in cached
+        ]
+        job: Dict[str, object] = {
+            "stage": stage_name,
+            "script": [
+                f"spack install --cache-only-fallback /{node.dag_hash()}",
+                f"spack buildcache push /{node.dag_hash()}",
+            ],
+            "variables": {"SPACK_SPEC": node.format()},
+        }
+        if tags:
+            job["tags"] = list(tags)
+        if needs:
+            job["needs"] = sorted(needs)
+        config[job_name_for(node)] = job
+        jobs_emitted += 1
+
+    if jobs_emitted == 0:
+        # Everything cached: emit the no-op job real spack generates.
+        config["no-specs-to-rebuild"] = {
+            "stage": stage_name,
+            "script": ["echo 'All specs are already in the binary cache'"],
+        }
+    return yaml.safe_dump(config, sort_keys=False)

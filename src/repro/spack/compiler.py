@@ -1,0 +1,116 @@
+"""Compiler abstraction — entries from ``compilers.yaml`` (Figure 4, §3.1.2).
+
+A :class:`Compiler` couples a :class:`~repro.spack.spec.CompilerSpec` with the
+paths of its language frontends and the target operating system.  The
+:class:`CompilerRegistry` answers the concretizer's "which compiler satisfies
+``%gcc@12``?" queries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from .spec import CompilerSpec, SpecError
+
+__all__ = ["Compiler", "CompilerRegistry", "CompilerNotFoundError"]
+
+
+class CompilerNotFoundError(SpecError):
+    pass
+
+
+class Compiler:
+    """A concrete compiler installation on a system."""
+
+    def __init__(
+        self,
+        spec: CompilerSpec,
+        cc: str = "",
+        cxx: str = "",
+        fc: str = "",
+        operating_system: str = "linux",
+        target: str = "x86_64",
+        flags: Optional[Dict[str, str]] = None,
+    ):
+        if not spec.concrete:
+            raise SpecError(f"compiler registration requires concrete version: {spec}")
+        self.spec = spec
+        self.cc = cc or f"/usr/bin/{spec.name}"
+        self.cxx = cxx or f"/usr/bin/{spec.name}++"
+        self.fc = fc
+        self.operating_system = operating_system
+        self.target = target
+        self.flags = flags or {}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Compiler":
+        spec = CompilerSpec.parse(d["spec"])
+        paths = d.get("paths", {})
+        return cls(
+            spec,
+            cc=paths.get("cc", ""),
+            cxx=paths.get("cxx", ""),
+            fc=paths.get("fc", ""),
+            operating_system=d.get("operating_system", "linux"),
+            target=d.get("target", "x86_64"),
+            flags=d.get("flags", {}),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": str(self.spec),
+            "paths": {"cc": self.cc, "cxx": self.cxx, "fc": self.fc},
+            "operating_system": self.operating_system,
+            "target": self.target,
+            "flags": dict(self.flags),
+        }
+
+    def __repr__(self):
+        return f"Compiler({self.spec})"
+
+
+class CompilerRegistry:
+    """All compilers known on a system (from its ``compilers.yaml``)."""
+
+    def __init__(self, compilers: Iterable[Compiler] = ()):
+        self._compilers: List[Compiler] = list(compilers)
+
+    @classmethod
+    def from_config(cls, config) -> "CompilerRegistry":
+        return cls(Compiler.from_dict(c) for c in config.compilers())
+
+    def add(self, compiler: Compiler) -> None:
+        self._compilers.append(compiler)
+
+    def all(self) -> List[Compiler]:
+        return list(self._compilers)
+
+    def find(self, constraint: Optional[CompilerSpec] = None) -> List[Compiler]:
+        """All compilers satisfying ``constraint`` (all of them if None)."""
+        if constraint is None:
+            return list(self._compilers)
+        return [c for c in self._compilers if c.spec.satisfies(constraint)]
+
+    def best(self, constraint: Optional[CompilerSpec] = None) -> Compiler:
+        """The compiler to use for a constraint.
+
+        With a named constraint, the highest satisfying version wins.  With
+        no constraint at all, the *first registered* compiler is the site
+        default (compilers.yaml order) — comparing versions across vendors
+        (gcc@12 vs intel@2021) would be meaningless.
+        """
+        matches = self.find(constraint)
+        if not matches:
+            raise CompilerNotFoundError(
+                f"no compiler satisfies %{constraint}" if constraint
+                else "no compilers registered"
+            )
+        if constraint is None:
+            return matches[0]
+        return max(matches, key=lambda c: c.spec.versions)  # type: ignore[arg-type]
+
+    def __len__(self):
+        return len(self._compilers)
+
+    def __iter__(self):
+        return iter(self._compilers)

@@ -1,0 +1,186 @@
+"""Configuration scopes — mini-Spack's layered YAML configuration (§3.1.2).
+
+Spack merges configuration from an ordered list of *scopes* (defaults, site,
+system, user, environment, command line).  Benchpark supplies per-system scope
+directories containing ``compilers.yaml`` and ``packages.yaml`` (Figure 4).
+
+Merge semantics follow Spack: higher-precedence scopes override scalar values
+and prepend to lists; dictionaries merge recursively.  A key ending in ``::``
+in the YAML replaces instead of merging (we expose that as ``replace=True``
+sections).
+"""
+
+from __future__ import annotations
+
+import copy
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import yaml
+
+from .parser import parse_spec
+from .spec import Spec
+
+__all__ = ["ConfigScope", "Configuration", "ExternalEntry", "ConfigError"]
+
+
+class ConfigError(Exception):
+    pass
+
+
+def _merge(high: Any, low: Any) -> Any:
+    """Merge ``high``-precedence data over ``low``."""
+    if isinstance(high, dict) and isinstance(low, dict):
+        out = dict(low)
+        for key, hval in high.items():
+            if key.endswith("::"):
+                out[key[:-2]] = copy.deepcopy(hval)
+            elif key in out:
+                out[key] = _merge(hval, out[key])
+            else:
+                out[key] = copy.deepcopy(hval)
+        return out
+    if isinstance(high, list) and isinstance(low, list):
+        return copy.deepcopy(high) + [x for x in low if x not in high]
+    return copy.deepcopy(high)
+
+
+class ConfigScope:
+    """One named layer of configuration (a dict of section → data)."""
+
+    def __init__(self, name: str, data: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.data: Dict[str, Any] = data or {}
+
+    @classmethod
+    def from_file(cls, name: str, path: Path | str) -> "ConfigScope":
+        with open(path) as f:
+            data = yaml.safe_load(f) or {}
+        return cls(name, data)
+
+    @classmethod
+    def from_directory(cls, name: str, directory: Path | str) -> "ConfigScope":
+        """Load every ``*.yaml`` in a scope directory; the file stem is the
+        section name unless the file already has a single top-level section
+        of the same name (Spack convention)."""
+        directory = Path(directory)
+        data: Dict[str, Any] = {}
+        for path in sorted(directory.glob("*.yaml")):
+            with open(path) as f:
+                content = yaml.safe_load(f) or {}
+            section = path.stem
+            if isinstance(content, dict) and list(content.keys()) == [section]:
+                content = content[section]
+            data[section] = content
+        return cls(name, data)
+
+    def get(self, section: str) -> Any:
+        return self.data.get(section)
+
+    def set(self, section: str, value: Any) -> None:
+        self.data[section] = value
+
+    def __repr__(self):
+        return f"ConfigScope({self.name!r}, sections={sorted(self.data)})"
+
+
+class ExternalEntry:
+    """A ``packages.yaml`` external: a preinstalled package on the system."""
+
+    def __init__(self, spec: Spec, prefix: str):
+        self.spec = spec
+        self.prefix = prefix
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ExternalEntry":
+        return cls(parse_spec(d["spec"]), d["prefix"])
+
+    def __repr__(self):
+        return f"ExternalEntry({self.spec.format()!r} at {self.prefix!r})"
+
+
+class Configuration:
+    """An ordered stack of scopes; later scopes have higher precedence."""
+
+    def __init__(self, *scopes: ConfigScope):
+        self.scopes: List[ConfigScope] = list(scopes)
+
+    def push_scope(self, scope: ConfigScope) -> None:
+        self.scopes.append(scope)
+
+    def pop_scope(self) -> ConfigScope:
+        return self.scopes.pop()
+
+    def get(self, section: str, default: Any = None) -> Any:
+        """Merged view of a section across all scopes."""
+        merged: Any = None
+        for scope in self.scopes:  # low → high precedence
+            val = scope.get(section)
+            if val is None:
+                continue
+            merged = val if merged is None else _merge(val, merged)
+        return merged if merged is not None else default
+
+    def get_path(self, path: str, default: Any = None) -> Any:
+        """Dotted-path lookup: ``config.get_path('packages.mpi.buildable')``."""
+        section, _, rest = path.partition(".")
+        data = self.get(section)
+        for key in rest.split(".") if rest else []:
+            if not isinstance(data, dict) or key not in data:
+                return default
+            data = data[key]
+        return data if data is not None else default
+
+    # -- packages.yaml helpers (Figure 4) ---------------------------------
+    def externals_for(self, name: str) -> List[ExternalEntry]:
+        pkgs = self.get("packages") or {}
+        entry = pkgs.get(name) or {}
+        return [ExternalEntry.from_dict(e) for e in entry.get("externals", [])]
+
+    def is_buildable(self, name: str) -> bool:
+        pkgs = self.get("packages") or {}
+        entry = pkgs.get(name) or {}
+        if "buildable" in entry:
+            return bool(entry["buildable"])
+        default = (pkgs.get("all") or {}).get("buildable", True)
+        return bool(default)
+
+    def preferred_variants(self, name: str) -> Optional[Spec]:
+        pkgs = self.get("packages") or {}
+        entry = pkgs.get(name) or {}
+        variants = entry.get("variants")
+        if not variants:
+            return None
+        text = " ".join(variants) if isinstance(variants, list) else str(variants)
+        return parse_spec(f"{name} {text}" if not text.startswith(("+", "~")) else f"{name}{text}")
+
+    def preferred_version_of(self, name: str) -> Optional[str]:
+        pkgs = self.get("packages") or {}
+        entry = pkgs.get(name) or {}
+        versions = entry.get("version")
+        if not versions:
+            return None
+        return str(versions[0] if isinstance(versions, list) else versions)
+
+    def virtual_providers(self, virtual: str) -> List[str]:
+        """Preferred providers for a virtual package, e.g. mpi → [mvapich2]."""
+        pkgs = self.get("packages") or {}
+        entry = pkgs.get(virtual) or pkgs.get("all") or {}
+        providers = entry.get("providers", {})
+        if isinstance(providers, dict):
+            return [str(p) for p in providers.get(virtual, [])]
+        return []
+
+    # -- compilers.yaml helpers --------------------------------------------
+    def compilers(self) -> List[Dict[str, Any]]:
+        comp = self.get("compilers") or []
+        return [c.get("compiler", c) for c in comp]
+
+    def dump(self) -> str:
+        merged = {}
+        sections = set()
+        for scope in self.scopes:
+            sections.update(scope.data)
+        for section in sorted(sections):
+            merged[section] = self.get(section)
+        return yaml.safe_dump(merged, sort_keys=True)

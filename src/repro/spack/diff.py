@@ -1,0 +1,99 @@
+"""``spack diff`` — structured comparison of two concrete specs.
+
+The §7.1 anecdote ("even after deploying a near identical operating system
+… and moving the exact same binary and dependencies between the systems,
+the faulty behavior persisted") is a spec-diff problem: *which* attribute of
+two supposedly-identical software stacks actually differs?  This module
+answers it mechanically: given two concrete specs, report every node whose
+version, variants, compiler, target, or external status diverges, and the
+nodes present on only one side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .spec import Spec, SpecError
+
+__all__ = ["SpecDiff", "NodeDiff", "diff_specs"]
+
+
+@dataclass
+class NodeDiff:
+    """Differences for one package present in both DAGs."""
+
+    name: str
+    #: attribute → (left value, right value)
+    changes: Dict[str, tuple] = field(default_factory=dict)
+
+    @property
+    def identical(self) -> bool:
+        return not self.changes
+
+    def __str__(self):
+        parts = [f"{attr}: {a!r} -> {b!r}" for attr, (a, b) in
+                 sorted(self.changes.items())]
+        return f"{self.name}: " + "; ".join(parts)
+
+
+@dataclass
+class SpecDiff:
+    """Full comparison result."""
+
+    left: str
+    right: str
+    only_left: List[str] = field(default_factory=list)
+    only_right: List[str] = field(default_factory=list)
+    changed: List[NodeDiff] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return not (self.only_left or self.only_right or self.changed)
+
+    def summary(self) -> str:
+        if self.identical:
+            return f"{self.left} and {self.right} are identical"
+        lines = [f"diff {self.left} vs {self.right}:"]
+        for name in self.only_left:
+            lines.append(f"  - only in left:  {name}")
+        for name in self.only_right:
+            lines.append(f"  + only in right: {name}")
+        for node in self.changed:
+            lines.append(f"  ~ {node}")
+        return "\n".join(lines)
+
+
+def _node_attrs(spec: Spec) -> Dict[str, object]:
+    return {
+        "version": str(spec.versions),
+        "variants": {
+            k: (list(v) if isinstance(v, tuple) else v)
+            for k, v in sorted(spec.variants.items())
+        },
+        "compiler": str(spec.compiler) if spec.compiler else None,
+        "target": spec.target,
+        "external": spec.external_path,
+    }
+
+
+def diff_specs(left: Spec, right: Spec) -> SpecDiff:
+    """Compare two concrete spec DAGs node by node."""
+    if not (left.concrete and right.concrete):
+        raise SpecError("spec diff requires two concrete specs")
+    left_nodes = {n.name: n for n in left.traverse()}
+    right_nodes = {n.name: n for n in right.traverse()}
+
+    result = SpecDiff(left=left.format(), right=right.format())
+    result.only_left = sorted(set(left_nodes) - set(right_nodes))
+    result.only_right = sorted(set(right_nodes) - set(left_nodes))
+
+    for name in sorted(set(left_nodes) & set(right_nodes)):
+        a, b = _node_attrs(left_nodes[name]), _node_attrs(right_nodes[name])
+        node = NodeDiff(name)
+        for attr in a:
+            if a[attr] != b[attr]:
+                node.changes[attr] = (a[attr], b[attr])
+        if not node.identical:
+            result.changed.append(node)
+    return result

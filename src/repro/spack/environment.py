@@ -1,0 +1,197 @@
+"""Spack environments — the manifest-and-lock model (§3.1.1, Figures 2 & 3).
+
+An environment is a directory with:
+
+* ``spack.yaml`` — the *manifest*, treated as user input: abstract specs plus
+  configuration (``concretizer: unify``, ``view``), and
+* ``spack.lock`` — the *lockfile*, the concretizer's output: the full
+  concrete DAG for every root, written only by ``concretize()``.
+
+The Figure 2 workflow maps to::
+
+    env = Environment.create(dir)          # spack env create --dir .
+    env.add("amg2023+caliper")             # spack add amg2023+caliper
+    env.concretize(concretizer)            # spack concretize
+    env.install(installer)                 # spack install
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import yaml
+
+from .concretizer import Concretizer
+from .installer import BuildResult, Installer
+from .parser import parse_spec
+from .spec import Spec, SpecError
+
+__all__ = ["Environment", "EnvironmentError_"]
+
+
+class EnvironmentError_(SpecError):
+    pass
+
+
+class Environment:
+    """A Spack environment rooted at a directory."""
+
+    MANIFEST = "spack.yaml"
+    LOCKFILE = "spack.lock"
+
+    def __init__(self, path: Path | str):
+        self.path = Path(path)
+        if not self.manifest_path.exists():
+            raise EnvironmentError_(
+                f"no {self.MANIFEST} in {self.path}; use Environment.create()"
+            )
+        self._concrete_roots: List[Spec] = []
+        self._load_lock()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, path: Path | str,
+               specs: Optional[List[str]] = None,
+               unify: bool = True,
+               view: bool = True) -> "Environment":
+        """``spack env create --dir <path>``"""
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "spack": {
+                "specs": list(specs or []),
+                "concretizer": {"unify": unify},
+                "view": view,
+            }
+        }
+        (path / cls.MANIFEST).write_text(yaml.safe_dump(manifest, sort_keys=False))
+        return cls(path)
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.path / self.MANIFEST
+
+    @property
+    def lock_path(self) -> Path:
+        return self.path / self.LOCKFILE
+
+    # -- manifest ---------------------------------------------------------
+    def _read_manifest(self) -> Dict:
+        data = yaml.safe_load(self.manifest_path.read_text()) or {}
+        if "spack" not in data:
+            raise EnvironmentError_(f"{self.manifest_path}: missing 'spack:' section")
+        return data
+
+    def _write_manifest(self, data: Dict) -> None:
+        self.manifest_path.write_text(yaml.safe_dump(data, sort_keys=False))
+
+    @property
+    def user_specs(self) -> List[Spec]:
+        data = self._read_manifest()
+        return [parse_spec(s) for s in data["spack"].get("specs", [])]
+
+    @property
+    def unify(self) -> bool:
+        data = self._read_manifest()
+        return bool(data["spack"].get("concretizer", {}).get("unify", True))
+
+    def add(self, spec: str) -> None:
+        """``spack add <spec>`` — append an abstract spec to the manifest."""
+        parse_spec(spec)  # validate syntax before committing
+        data = self._read_manifest()
+        specs = data["spack"].setdefault("specs", [])
+        if spec not in specs:
+            specs.append(spec)
+        self._write_manifest(data)
+
+    def remove(self, spec: str) -> None:
+        data = self._read_manifest()
+        specs = data["spack"].setdefault("specs", [])
+        if spec not in specs:
+            raise EnvironmentError_(f"{spec!r} is not in the environment")
+        specs.remove(spec)
+        self._write_manifest(data)
+
+    # -- lockfile -----------------------------------------------------------
+    def _load_lock(self) -> None:
+        if self.lock_path.exists():
+            data = json.loads(self.lock_path.read_text())
+            self._concrete_roots = [
+                Spec.from_node_dict(d, concrete=True) for d in data.get("roots", [])
+            ]
+
+    def _write_lock(self) -> None:
+        data = {
+            "_meta": {"file-type": "spack-lockfile", "lockfile-version": 1},
+            "roots": [s.to_node_dict(deps=True) for s in self._concrete_roots],
+        }
+        self.lock_path.write_text(json.dumps(data, indent=2, sort_keys=True))
+
+    @property
+    def concrete_roots(self) -> List[Spec]:
+        return list(self._concrete_roots)
+
+    # -- operations -----------------------------------------------------------
+    def concretize(self, concretizer: Concretizer, force: bool = False) -> List[Spec]:
+        """``spack concretize [-f]`` — manifest in, lockfile out."""
+        user = self._read_manifest()["spack"].get("specs", [])
+        if not user:
+            raise EnvironmentError_("environment has no specs to concretize")
+        if self._concrete_roots and not force:
+            # The lock is fresh only if every manifest spec is *satisfied*
+            # by its locked root — name equality alone would return a stale
+            # solution after `spack add pkg+newvariant`.
+            wanted = [parse_spec(s) for s in user]
+            locked_by_name = {r.name: r for r in self._concrete_roots}
+            fresh = len(wanted) == len(self._concrete_roots) and all(
+                w.name in locked_by_name
+                and locked_by_name[w.name].satisfies(w)
+                for w in wanted
+            )
+            if fresh:
+                return self.concrete_roots
+        self._concrete_roots = concretizer.concretize_together(
+            list(user), unify=self.unify
+        )
+        self._write_lock()
+        return self.concrete_roots
+
+    def install(self, installer: Installer) -> List[BuildResult]:
+        """``spack install`` — install everything in the lockfile."""
+        if not self._concrete_roots:
+            raise EnvironmentError_(
+                "environment is not concretized; run concretize() first"
+            )
+        results: List[BuildResult] = []
+        for root in self._concrete_roots:
+            results.extend(installer.install(root))
+        if self._view_enabled():
+            self._regenerate_view(installer)
+        return results
+
+    def _view_enabled(self) -> bool:
+        return bool(self._read_manifest()["spack"].get("view", False))
+
+    def _regenerate_view(self, installer: Installer) -> None:
+        """A view is a merged prefix: symlink-like records of all roots."""
+        view_dir = self.path / ".spack-env" / "view"
+        view_dir.mkdir(parents=True, exist_ok=True)
+        links = {}
+        for root in self._concrete_roots:
+            for node in root.traverse():
+                rec = installer.store.get_record(node)
+                if rec is not None:
+                    links[node.name] = rec.prefix
+        (view_dir / "links.json").write_text(json.dumps(links, indent=2, sort_keys=True))
+
+    def status(self, installer: Installer) -> Dict[str, str]:
+        """name → installed/missing, for every node in the lockfile."""
+        out: Dict[str, str] = {}
+        for root in self._concrete_roots:
+            for node in root.traverse():
+                out[node.name] = (
+                    "installed" if installer.store.is_installed(node) else "missing"
+                )
+        return out

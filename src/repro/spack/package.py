@@ -1,0 +1,359 @@
+"""Package definitions — the mini-Spack package DSL (paper §3.1, component 3).
+
+A package file defines the *build space* of a package and a build recipe
+templatized by the concrete spec, exactly like Spack's ``package.py``::
+
+    class Saxpy(CMakePackage, CudaPackage, ROCmPackage):
+        '''Test saxpy problem.'''
+
+        version("1.0.0")
+        variant("openmp", default=True, description="OpenMP")
+        depends_on("cmake@3.20:", type="build")
+
+        def cmake_args(self):
+            args = []
+            if "+openmp" in self.spec:
+                args.append("-DUSE_OPENMP=ON")
+            return args
+
+Directives (``version``, ``variant``, ``depends_on``, ``conflicts``,
+``provides``) may only appear in a class body; they register metadata on the
+class being defined via a directive stack, mirroring Spack's DirectiveMeta.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .parser import parse_spec
+from .spec import Spec, SpecError
+from .variant import VariantDef
+from .version import Version
+
+__all__ = [
+    "PackageBase",
+    "Package",
+    "MakefilePackage",
+    "CMakePackage",
+    "AutotoolsPackage",
+    "PythonPackage",
+    "BundlePackage",
+    "CudaPackage",
+    "ROCmPackage",
+    "version",
+    "variant",
+    "depends_on",
+    "conflicts",
+    "provides",
+    "maintainers",
+    "PackageError",
+    "ConflictError",
+]
+
+
+class PackageError(SpecError):
+    """Problem in a package definition or build."""
+
+
+class ConflictError(PackageError):
+    """A concretized spec violates a declared conflict."""
+
+
+class _Directive:
+    """A deferred directive, applied when the class body finishes."""
+
+    def __init__(self, apply_fn: Callable[[type], None]):
+        self.apply_fn = apply_fn
+
+
+_directive_stack: List[_Directive] = []
+
+
+def version(ver_string: str, sha256: Optional[str] = None, preferred: bool = False,
+            deprecated: bool = False) -> None:
+    """Declare an available version of the package."""
+    v = Version(str(ver_string))
+
+    def apply(cls):
+        cls.versions[v] = {
+            "sha256": sha256,
+            "preferred": preferred,
+            "deprecated": deprecated,
+        }
+
+    _directive_stack.append(_Directive(apply))
+
+
+def variant(name: str, default=False, description: str = "",
+            values: Optional[Sequence] = None, multi: bool = False) -> None:
+    """Declare a build variant."""
+    vdef = VariantDef(name, default=default, description=description,
+                      values=values, multi=multi)
+
+    def apply(cls):
+        cls.variants[name] = vdef
+
+    _directive_stack.append(_Directive(apply))
+
+
+def depends_on(spec_string: str, when: Optional[str] = None,
+               type: Tuple[str, ...] | str = ("build", "link")) -> None:
+    """Declare a dependency; ``when`` restricts it to matching specs."""
+    dep_spec = parse_spec(spec_string)
+    when_spec = parse_spec(when) if when else None
+    dep_types = (type,) if isinstance(type, str) else tuple(type)
+
+    def apply(cls):
+        cls.dependencies.setdefault(dep_spec.name, []).append(
+            {"spec": dep_spec, "when": when_spec, "type": dep_types}
+        )
+
+    _directive_stack.append(_Directive(apply))
+
+
+def conflicts(spec_string: str, when: Optional[str] = None, msg: str = "") -> None:
+    """Declare that specs matching ``spec_string`` cannot be built
+    (optionally only ``when`` a condition holds)."""
+    conflict_spec = parse_spec(spec_string)
+    when_spec = parse_spec(when) if when else None
+
+    def apply(cls):
+        cls.conflict_rules.append({"spec": conflict_spec, "when": when_spec, "msg": msg})
+
+    _directive_stack.append(_Directive(apply))
+
+
+def provides(virtual: str, when: Optional[str] = None) -> None:
+    """Declare that this package provides a virtual package (e.g. ``mpi``)."""
+    when_spec = parse_spec(when) if when else None
+
+    def apply(cls):
+        cls.provided.setdefault(virtual, []).append(when_spec)
+
+    _directive_stack.append(_Directive(apply))
+
+
+def maintainers(*names: str) -> None:
+    def apply(cls):
+        cls.maintainer_list.extend(names)
+
+    _directive_stack.append(_Directive(apply))
+
+
+class PackageMeta(type):
+    """Collects directives issued in the class body onto the new class."""
+
+    def __new__(mcs, name, bases, attrs):
+        cls = super().__new__(mcs, name, bases, attrs)
+        # Fresh copies so subclasses don't mutate parents; start from
+        # accumulated parent metadata (multiple inheritance merges).
+        cls.versions = {}
+        cls.variants = {}
+        cls.dependencies = {}
+        cls.conflict_rules = []
+        cls.provided = {}
+        cls.maintainer_list = []
+        for base in reversed(bases):
+            cls.versions.update(getattr(base, "versions", {}))
+            cls.variants.update(getattr(base, "variants", {}))
+            for dname, lst in getattr(base, "dependencies", {}).items():
+                cls.dependencies.setdefault(dname, []).extend(lst)
+            cls.conflict_rules.extend(getattr(base, "conflict_rules", []))
+            for vname, lst in getattr(base, "provided", {}).items():
+                cls.provided.setdefault(vname, []).extend(lst)
+            cls.maintainer_list.extend(getattr(base, "maintainer_list", []))
+        global _directive_stack
+        pending, _directive_stack = _directive_stack, []
+        for directive in pending:
+            directive.apply_fn(cls)
+        return cls
+
+
+class PackageBase(metaclass=PackageMeta):
+    """Base class for all packages.
+
+    Subclass attributes populated by directives:
+
+    * ``versions`` — {Version: metadata}
+    * ``variants`` — {name: VariantDef}
+    * ``dependencies`` — {name: [{spec, when, type}]}
+    * ``conflict_rules`` — [{spec, when, msg}]
+    * ``provided`` — {virtual: [when_spec]}
+    """
+
+    #: build system name, used by the installer to pick a build pipeline
+    build_system = "generic"
+    homepage = ""
+    url = ""
+
+    def __init__(self, spec: Spec):
+        if not spec.concrete:
+            raise PackageError(
+                f"package object requires a concrete spec, got {spec}"
+            )
+        self.spec = spec
+
+    # -- class-level queries (used by the concretizer on abstract specs) ---
+    @classmethod
+    def pkg_name(cls) -> str:
+        """The package name: CamelCase class name → kebab-case."""
+        name = cls.__name__
+        out = [name[0].lower()]
+        for ch in name[1:]:
+            if ch.isupper():
+                out.append("-")
+                out.append(ch.lower())
+            else:
+                out.append(ch)
+        return "".join(out)
+
+    @classmethod
+    def available_versions(cls) -> List[Version]:
+        return sorted(cls.versions)
+
+    @classmethod
+    def preferred_version(cls) -> Version:
+        from .version import highest
+
+        if not cls.versions:
+            raise PackageError(f"package {cls.pkg_name()} declares no versions")
+        preferred = [v for v, meta in cls.versions.items() if meta.get("preferred")]
+        if preferred:
+            return max(preferred)
+        live = [v for v, meta in cls.versions.items() if not meta.get("deprecated")]
+        return highest(live or list(cls.versions))
+
+    @classmethod
+    def dependencies_for(cls, spec: Spec) -> Dict[str, Spec]:
+        """Dependency constraints active for a (partially) concrete spec."""
+        active: Dict[str, Spec] = {}
+        for dname, entries in cls.dependencies.items():
+            for entry in entries:
+                when = entry["when"]
+                # The concretizer fills version/variants before expanding
+                # dependencies, so `when` conditions are decided with
+                # satisfies (not intersects) — multi-valued variants would
+                # otherwise spuriously activate every conditional dep.
+                if when is not None and not spec.satisfies(when):
+                    continue
+                if dname in active:
+                    active[dname].constrain(entry["spec"])
+                else:
+                    active[dname] = entry["spec"].copy()
+        return active
+
+    @classmethod
+    def validate_concrete(cls, spec: Spec) -> None:
+        """Check conflicts against a concrete spec."""
+        for rule in cls.conflict_rules:
+            when = rule["when"]
+            if when is not None and not spec.satisfies(when):
+                continue
+            if spec.satisfies(rule["spec"]):
+                msg = rule["msg"] or f"{spec.name}: conflict {rule['spec']}"
+                raise ConflictError(msg)
+
+    # -- instance-level build interface -------------------------------------
+    def build_env(self) -> Dict[str, str]:
+        """Environment variables the simulated build exports."""
+        return {
+            "SPEC": str(self.spec),
+            "PREFIX": self.prefix,
+        }
+
+    @property
+    def prefix(self) -> str:
+        if self.spec.external:
+            return self.spec.external_path  # type: ignore[return-value]
+        return f"/opt/store/{self.spec.name}-{self.spec.version}-{self.spec.dag_hash(8)}"
+
+    def install_phases(self) -> List[str]:
+        return ["install"]
+
+    def artifacts(self) -> Dict[str, str]:
+        """Files the simulated build produces (path → content description)."""
+        return {f"bin/{self.spec.name}": f"executable for {self.spec.format()}"}
+
+
+class Package(PackageBase):
+    build_system = "generic"
+
+
+class MakefilePackage(PackageBase):
+    build_system = "makefile"
+
+    def install_phases(self) -> List[str]:
+        return ["edit", "build", "install"]
+
+
+class CMakePackage(PackageBase):
+    build_system = "cmake"
+
+    depends_on("cmake@3.13:", type="build")
+
+    def cmake_args(self) -> List[str]:
+        return []
+
+    def install_phases(self) -> List[str]:
+        return ["cmake", "build", "install"]
+
+
+class AutotoolsPackage(PackageBase):
+    build_system = "autotools"
+
+    def configure_args(self) -> List[str]:
+        return []
+
+    def install_phases(self) -> List[str]:
+        return ["autoreconf", "configure", "build", "install"]
+
+
+class PythonPackage(PackageBase):
+    build_system = "python_pip"
+
+    def install_phases(self) -> List[str]:
+        return ["install"]
+
+
+class BundlePackage(PackageBase):
+    """A package with no code of its own — only dependencies."""
+
+    build_system = "bundle"
+
+    def install_phases(self) -> List[str]:
+        return []
+
+    def artifacts(self) -> Dict[str, str]:
+        return {}
+
+
+class CudaPackage(PackageBase):
+    """Mixin adding the ``+cuda`` variant and ``cuda_arch`` values."""
+
+    variant("cuda", default=False, description="Build with CUDA")
+    variant(
+        "cuda_arch",
+        default="none",
+        values=("none", "60", "70", "80", "90"),
+        multi=True,
+        description="CUDA architecture",
+    )
+    depends_on("cuda", when="+cuda")
+    conflicts("cuda_arch=none", when="+cuda",
+              msg="CUDA architecture is required when +cuda")
+
+
+class ROCmPackage(PackageBase):
+    """Mixin adding the ``+rocm`` variant and ``amdgpu_target`` values."""
+
+    variant("rocm", default=False, description="Build with ROCm")
+    variant(
+        "amdgpu_target",
+        default="none",
+        values=("none", "gfx906", "gfx908", "gfx90a", "gfx942"),
+        multi=True,
+        description="AMD GPU architecture",
+    )
+    depends_on("hip", when="+rocm")
+    conflicts("amdgpu_target=none", when="+rocm",
+              msg="AMD GPU architecture is required when +rocm")

@@ -1,0 +1,243 @@
+"""Parser for the Spack spec syntax (paper §3.1, component 1).
+
+Grammar (simplified from Spack, sufficient for Benchpark)::
+
+    spec        := node (dep)*
+    dep         := '^' node
+    node        := [name] clause*
+    clause      := '@' versions | '+' ident | '~' ident | '-' ident
+                 | '%' compiler | kvpair
+    compiler    := ident ['@' versions]
+    kvpair      := ident '=' value            # variant / target / platform
+    versions    := version-constraint (',' version-constraint)*
+
+Examples accepted::
+
+    amg2023+caliper
+    saxpy@1.0.0 +openmp ^cmake@3.23.1
+    mvapich2@2.3.7-gcc12.1.1-magic
+    hypre@2.28: %gcc@12.1.1 target=zen3 cflags=-O3
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple, Optional
+
+from .spec import CompilerSpec, Spec, SpecError
+from .variant import normalize_value
+from .version import ver
+
+__all__ = ["parse_spec", "parse_specs", "SpecParseError", "tokenize"]
+
+
+class SpecParseError(SpecError):
+    """Raised on invalid spec syntax, with position information."""
+
+    def __init__(self, message: str, text: str, pos: int):
+        marker = " " * pos + "^"
+        super().__init__(f"{message}\n  {text}\n  {marker}")
+        self.text = text
+        self.pos = pos
+
+
+class Token(NamedTuple):
+    kind: str
+    value: str
+    pos: int
+
+
+# Identifiers may contain dots and dashes (package names like
+# ``intel-oneapi-mkl``, versions handled separately after '@').
+_TOKEN_SPEC = [
+    ("WS", r"\s+"),
+    ("AT", r"@"),
+    ("ON", r"\+"),
+    ("OFF", r"~|(?<=\s)-(?=[a-zA-Z])"),
+    ("PCT", r"%"),
+    ("DEP", r"\^"),
+    ("EQ", r"="),
+    ("ID", r"[A-Za-z0-9_][A-Za-z0-9_.\-]*"),
+    ("VAL", r"[^\s=^%+~]+"),
+]
+_MASTER_RE = re.compile("|".join(f"(?P<{k}>{p})" for k, p in _TOKEN_SPEC))
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    pos = 0
+    while pos < len(text):
+        m = _MASTER_RE.match(text, pos)
+        if not m:
+            raise SpecParseError(f"unexpected character {text[pos]!r}", text, pos)
+        kind = m.lastgroup
+        assert kind is not None
+        if kind != "WS":
+            yield Token(kind, m.group(), pos)
+        pos = m.end()
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens: List[Token] = list(tokenize(text))
+        self.i = 0
+
+    def peek(self) -> Optional[Token]:
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            raise SpecParseError("unexpected end of spec", self.text, len(self.text))
+        self.i += 1
+        return tok
+
+    def expect(self, kind: str) -> Token:
+        tok = self.next()
+        if tok.kind != kind:
+            raise SpecParseError(
+                f"expected {kind}, got {tok.kind} ({tok.value!r})", self.text, tok.pos
+            )
+        return tok
+
+    # -- grammar ---------------------------------------------------------
+    def parse(self) -> Spec:
+        root = self.parse_node(allow_anonymous=True)
+        while True:
+            tok = self.peek()
+            if tok is None:
+                break
+            if tok.kind == "DEP":
+                self.next()
+                dep = self.parse_node(allow_anonymous=False)
+                if dep.name == root.name:
+                    raise SpecParseError(
+                        f"package {root.name!r} cannot depend on itself",
+                        self.text, tok.pos,
+                    )
+                root.dependencies[dep.name] = dep
+            else:
+                raise SpecParseError(
+                    f"unexpected token {tok.value!r}", self.text, tok.pos
+                )
+        return root
+
+    def parse_node(self, allow_anonymous: bool) -> Spec:
+        spec = Spec()
+        tok = self.peek()
+        if tok is not None and tok.kind == "ID":
+            nxt = self.tokens[self.i + 1] if self.i + 1 < len(self.tokens) else None
+            if nxt is None or nxt.kind != "EQ":
+                spec.name = self.next().value
+        if not spec.name and not allow_anonymous:
+            pos = tok.pos if tok else len(self.text)
+            raise SpecParseError("dependency spec must be named", self.text, pos)
+
+        while True:
+            tok = self.peek()
+            if tok is None or tok.kind == "DEP":
+                break
+            if tok.kind == "AT":
+                self.next()
+                vtok = self.next()
+                if vtok.kind not in ("ID", "VAL"):
+                    raise SpecParseError("expected version", self.text, vtok.pos)
+                vtext = vtok.value
+                # ranges like "2.28:" tokenize as a single ID because ':' is
+                # allowed in VAL; handle trailing ':' glued into next token.
+                if spec.versions is not None:
+                    raise SpecParseError("duplicate '@'", self.text, tok.pos)
+                try:
+                    spec.versions = ver(vtext)
+                except ValueError as e:
+                    raise SpecParseError(str(e), self.text, vtok.pos) from e
+            elif tok.kind == "ON":
+                self.next()
+                name = self.expect("ID").value
+                spec.variants[name] = True
+            elif tok.kind == "OFF":
+                self.next()
+                name = self.expect("ID").value
+                spec.variants[name] = False
+            elif tok.kind == "PCT":
+                self.next()
+                ctok = self.expect("ID")
+                cname = ctok.value
+                cversions = None
+                nxt = self.peek()
+                if nxt is not None and nxt.kind == "AT":
+                    self.next()
+                    vtok = self.next()
+                    cversions = ver(vtok.value)
+                if spec.compiler is not None:
+                    raise SpecParseError("duplicate compiler", self.text, ctok.pos)
+                spec.compiler = CompilerSpec(cname, cversions)
+            elif tok.kind == "ID":
+                nxt = self.tokens[self.i + 1] if self.i + 1 < len(self.tokens) else None
+                if nxt is not None and nxt.kind == "EQ":
+                    key = self.next().value
+                    self.next()  # '='
+                    vtok = self.next()
+                    value = vtok.value
+                    if key == "target":
+                        spec.target = value
+                    elif key == "platform":
+                        spec.platform = value
+                    else:
+                        spec.variants[key] = normalize_value(value)
+                else:
+                    break  # next anonymous node — shouldn't happen at top level
+            else:
+                break
+        return spec
+
+
+# ':' appears in version ranges; widen ID to carry it when after '@' is hard
+# in a single-pass lexer, so we post-process: allow ':' inside ID tokens.
+_TOKEN_SPEC[7] = ("ID", r"[A-Za-z0-9_][A-Za-z0-9_.\-:,]*")
+_MASTER_RE = re.compile("|".join(f"(?P<{k}>{p})" for k, p in _TOKEN_SPEC))
+
+
+def parse_spec(text: str) -> Spec:
+    """Parse a single spec string into a :class:`Spec`."""
+    if not text or not text.strip():
+        raise SpecParseError("empty spec", text or "", 0)
+    parser = _Parser(text.strip())
+    spec = parser.parse()
+    # A name that ends with ':' or ',' came from greedy ID lexing of
+    # versions; reject clearly.
+    if spec.name and any(c in spec.name for c in ":,"):
+        raise SpecParseError(f"invalid package name {spec.name!r}", text, 0)
+    return spec
+
+
+def parse_specs(text: str) -> List[Spec]:
+    """Parse a whitespace-separated list of *named* specs.
+
+    Unlike :func:`parse_spec`, each top-level name starts a new spec, which
+    matches how ``spack install pkg1 pkg2`` parses its command line.
+    """
+    specs: List[Spec] = []
+    for chunk in _split_top_level(text):
+        specs.append(parse_spec(chunk))
+    return specs
+
+
+def _split_top_level(text: str) -> List[str]:
+    """Split on whitespace that precedes a bare package name."""
+    chunks: List[str] = []
+    current: List[str] = []
+    for word in text.split():
+        starts_new = (
+            bool(current)
+            and word[0].isalnum()
+            and "=" not in word.split("@")[0]
+            and not word.startswith(("+", "~", "%", "^", "@", "-"))
+        )
+        if starts_new:
+            chunks.append(" ".join(current))
+            current = []
+        current.append(word)
+    if current:
+        chunks.append(" ".join(current))
+    return chunks

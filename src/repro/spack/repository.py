@@ -1,0 +1,121 @@
+"""Package repositories with overlay semantics (Figure 1a's ``repo/`` dir).
+
+Spack and Ramble both resolve package definitions through an ordered list of
+repositories; Benchpark adds a ``repo/`` overlay for definitions not yet
+upstreamed (paper §2).  :class:`RepoPath` implements exactly that: the first
+repository that defines a package wins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Type
+
+from .package import PackageBase, PackageError
+
+__all__ = ["Repository", "RepoPath", "UnknownPackageError"]
+
+
+class UnknownPackageError(PackageError):
+    def __init__(self, name: str, repos: Iterable[str] = ()):
+        where = f" in repos {list(repos)}" if repos else ""
+        super().__init__(f"unknown package: {name!r}{where}")
+        self.name = name
+
+
+class Repository:
+    """A named collection of package classes (like a Spack repo namespace)."""
+
+    def __init__(self, namespace: str):
+        self.namespace = namespace
+        self._packages: Dict[str, Type[PackageBase]] = {}
+
+    def register(self, cls: Type[PackageBase]) -> Type[PackageBase]:
+        """Register a package class (usable as a decorator)."""
+        name = cls.pkg_name()
+        self._packages[name] = cls
+        return cls
+
+    def get_class(self, name: str) -> Type[PackageBase]:
+        try:
+            return self._packages[name]
+        except KeyError:
+            raise UnknownPackageError(name, [self.namespace]) from None
+
+    def exists(self, name: str) -> bool:
+        return name in self._packages
+
+    def all_package_names(self) -> List[str]:
+        return sorted(self._packages)
+
+    def providers_of(self, virtual: str) -> List[str]:
+        """Package names that declare ``provides(virtual)``."""
+        return sorted(
+            name
+            for name, cls in self._packages.items()
+            if virtual in cls.provided
+        )
+
+    def is_virtual(self, name: str) -> bool:
+        return not self.exists(name) and bool(self.providers_of(name))
+
+    def __len__(self):
+        return len(self._packages)
+
+    def __repr__(self):
+        return f"Repository({self.namespace!r}, {len(self)} packages)"
+
+
+class RepoPath:
+    """Ordered overlay of repositories; earlier repos shadow later ones."""
+
+    def __init__(self, *repos: Repository):
+        self.repos: List[Repository] = list(repos)
+
+    def prepend(self, repo: Repository) -> None:
+        self.repos.insert(0, repo)
+
+    def get_class(self, name: str) -> Type[PackageBase]:
+        for repo in self.repos:
+            if repo.exists(name):
+                return repo.get_class(name)
+        raise UnknownPackageError(name, [r.namespace for r in self.repos])
+
+    def exists(self, name: str) -> bool:
+        return any(r.exists(name) for r in self.repos)
+
+    def all_package_names(self) -> List[str]:
+        names = set()
+        for repo in self.repos:
+            names.update(repo.all_package_names())
+        return sorted(names)
+
+    def providers_of(self, virtual: str) -> List[str]:
+        names: List[str] = []
+        for repo in self.repos:
+            for n in repo.providers_of(virtual):
+                if n not in names:
+                    names.append(n)
+        return names
+
+    def is_virtual(self, name: str) -> bool:
+        return not self.exists(name) and bool(self.providers_of(name))
+
+    def __repr__(self):
+        return f"RepoPath({[r.namespace for r in self.repos]})"
+
+
+_builtin: Optional[Repository] = None
+
+
+def builtin_repo() -> Repository:
+    """The lazily-constructed builtin package repository."""
+    global _builtin
+    if _builtin is None:
+        from . import builtin as _builtin_module
+
+        _builtin = _builtin_module.make_repo()
+    return _builtin
+
+
+def default_repo_path() -> RepoPath:
+    return RepoPath(builtin_repo())

@@ -1,0 +1,426 @@
+"""The Spec data model — the common language of the mini-Spack substrate.
+
+A *spec* describes a build of a package: its name, version constraint,
+variants, compiler, target microarchitecture, and dependencies, e.g.::
+
+    amg2023+caliper %gcc@12.1.1 ^cmake@3.23.1 target=zen3
+
+Specs come in two flavours (paper §3.1):
+
+* **abstract** specs express user constraints — any field may be missing;
+* **concrete** specs are fully resolved by the concretizer — every choice
+  point is filled in and the spec carries a content (DAG) hash.
+
+The three fundamental operations, mirrored from Spack:
+
+``satisfies``  — is every constraint of the other spec met by this one?
+``intersects`` — could some concrete spec satisfy both?
+``constrain``  — merge the other spec's constraints into this one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Iterator, Optional
+
+from .variant import (
+    VariantValue,
+    normalize_value,
+    value_intersects,
+    value_merge,
+    value_satisfies,
+)
+from .version import Version, VersionConstraint, VersionList, ver
+
+__all__ = ["Spec", "CompilerSpec", "SpecError", "UnsatisfiableSpecError"]
+
+
+class SpecError(Exception):
+    """Malformed or inconsistent spec."""
+
+
+class UnsatisfiableSpecError(SpecError):
+    """Raised when constraining two incompatible specs."""
+
+
+class CompilerSpec:
+    """A compiler constraint: name plus optional version, e.g. ``gcc@12.1.1``."""
+
+    __slots__ = ("name", "versions")
+
+    def __init__(self, name: str, versions: Optional[VersionConstraint] = None):
+        self.name = name
+        self.versions = versions
+
+    @classmethod
+    def parse(cls, text: str) -> "CompilerSpec":
+        name, _, vtext = text.partition("@")
+        if not name:
+            raise SpecError(f"compiler spec missing name: {text!r}")
+        return cls(name, ver(vtext) if vtext else None)
+
+    @property
+    def concrete(self) -> bool:
+        return self.versions is not None and getattr(self.versions, "concrete", False)
+
+    def satisfies(self, other: "CompilerSpec") -> bool:
+        if self.name != other.name:
+            return False
+        if other.versions is None:
+            return True
+        if self.versions is None:
+            return False
+        return self.versions.satisfies(other.versions)
+
+    def intersects(self, other: "CompilerSpec") -> bool:
+        if self.name != other.name:
+            return False
+        if self.versions is None or other.versions is None:
+            return True
+        return self.versions.intersects(other.versions)
+
+    def constrain(self, other: "CompilerSpec") -> "CompilerSpec":
+        if self.name != other.name:
+            raise UnsatisfiableSpecError(
+                f"compiler {self.name} incompatible with {other.name}"
+            )
+        if other.versions is None:
+            return self
+        if self.versions is None:
+            return CompilerSpec(self.name, other.versions)
+        if not self.versions.intersects(other.versions):
+            raise UnsatisfiableSpecError(
+                f"compiler versions {self.versions} and {other.versions} disjoint"
+            )
+        # Keep the more specific (concrete) constraint.
+        chosen = self.versions if getattr(self.versions, "concrete", False) else other.versions
+        return CompilerSpec(self.name, chosen)
+
+    def copy(self) -> "CompilerSpec":
+        return CompilerSpec(self.name, self.versions)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, CompilerSpec)
+            and self.name == other.name
+            and str(self.versions or "") == str(other.versions or "")
+        )
+
+    def __hash__(self):
+        return hash((self.name, str(self.versions or "")))
+
+    def __str__(self):
+        return f"{self.name}@{self.versions}" if self.versions else self.name
+
+    def __repr__(self):
+        return f"CompilerSpec({str(self)!r})"
+
+
+class Spec:
+    """A (possibly abstract) build specification.
+
+    Construct directly for programmatic use, or via
+    :func:`repro.spack.parser.parse_spec` for the string syntax.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name: str = name
+        self.versions: Optional[VersionConstraint] = None
+        self.variants: Dict[str, VariantValue] = {}
+        self.compiler: Optional[CompilerSpec] = None
+        self.target: Optional[str] = None
+        self.platform: Optional[str] = None
+        #: direct dependency constraints, name -> Spec
+        self.dependencies: Dict[str, "Spec"] = {}
+        #: set by the concretizer / config for external packages
+        self.external_path: Optional[str] = None
+        self._concrete: bool = False
+        self._hash: Optional[str] = None
+
+    # -- basic properties ---------------------------------------------------
+    @property
+    def concrete(self) -> bool:
+        return self._concrete
+
+    @property
+    def external(self) -> bool:
+        return self.external_path is not None
+
+    @property
+    def version(self) -> Version:
+        """The single concrete version (only valid on concrete specs)."""
+        if self.versions is None or not getattr(self.versions, "concrete", False):
+            raise SpecError(f"spec {self} has no concrete version")
+        if isinstance(self.versions, Version):
+            return self.versions
+        if isinstance(self.versions, VersionList):
+            only = self.versions.constraints[0]
+            if isinstance(only, Version):
+                return only
+        raise SpecError(f"spec {self} has no concrete version")
+
+    def mark_concrete(self) -> None:
+        """Freeze this spec (and compute its DAG hash lazily)."""
+        self._concrete = True
+        self._hash = None
+
+    # -- satisfaction ---------------------------------------------------------
+    def satisfies(self, other: "Spec") -> bool:
+        """True if this spec meets every constraint in ``other``.
+
+        Anonymous constraints (``other.name == ''``) match any package name —
+        Spack uses these for things like ``%gcc`` or ``+debug`` applied
+        generically.
+        """
+        if other.name and self.name != other.name:
+            return False
+        if other.versions is not None:
+            if self.versions is None:
+                return False
+            if not self.versions.satisfies(other.versions):
+                return False
+        for vname, want in other.variants.items():
+            if vname not in self.variants:
+                return False
+            if not value_satisfies(self.variants[vname], want):
+                return False
+        if other.compiler is not None:
+            if self.compiler is None or not self.compiler.satisfies(other.compiler):
+                return False
+        if other.target is not None and self.target != other.target:
+            return False
+        if other.platform is not None and self.platform != other.platform:
+            return False
+        for dname, dspec in other.dependencies.items():
+            mine = self._find_dep(dname)
+            if mine is None or not mine.satisfies(dspec):
+                return False
+        return True
+
+    def _find_dep(self, name: str) -> Optional["Spec"]:
+        """Find a dependency anywhere in the DAG (transitive)."""
+        for dep in self.traverse(root=False):
+            if dep.name == name:
+                return dep
+        return None
+
+    def intersects(self, other: "Spec") -> bool:
+        """True if some concrete spec could satisfy both self and other."""
+        if self.name and other.name and self.name != other.name:
+            return False
+        if self.versions is not None and other.versions is not None:
+            if not self.versions.intersects(other.versions):
+                return False
+        for vname, want in other.variants.items():
+            if vname in self.variants and not value_intersects(self.variants[vname], want):
+                return False
+        if self.compiler is not None and other.compiler is not None:
+            if not self.compiler.intersects(other.compiler):
+                return False
+        if self.target and other.target and self.target != other.target:
+            return False
+        for dname, dspec in other.dependencies.items():
+            if dname in self.dependencies and not self.dependencies[dname].intersects(dspec):
+                return False
+        return True
+
+    def constrain(self, other: "Spec") -> "Spec":
+        """Merge ``other``'s constraints into this spec (in place).
+
+        Raises :class:`UnsatisfiableSpecError` on conflict.  Returns self for
+        chaining.
+        """
+        if self._concrete:
+            raise SpecError(f"cannot constrain concrete spec {self}")
+        if other.name:
+            if self.name and self.name != other.name:
+                raise UnsatisfiableSpecError(
+                    f"cannot constrain {self.name} with {other.name}"
+                )
+            self.name = other.name
+        if other.versions is not None:
+            if self.versions is None:
+                self.versions = other.versions
+            else:
+                if not self.versions.intersects(other.versions):
+                    raise UnsatisfiableSpecError(
+                        f"{self.name}: versions {self.versions} and "
+                        f"{other.versions} are disjoint"
+                    )
+                if getattr(other.versions, "concrete", False):
+                    self.versions = other.versions
+        for vname, val in other.variants.items():
+            if vname in self.variants:
+                try:
+                    self.variants[vname] = value_merge(self.variants[vname], val)
+                except ValueError as e:
+                    raise UnsatisfiableSpecError(f"{self.name}: {e}") from e
+            else:
+                self.variants[vname] = val
+        if other.compiler is not None:
+            self.compiler = (
+                other.compiler.copy()
+                if self.compiler is None
+                else self.compiler.constrain(other.compiler)
+            )
+        if other.target is not None:
+            if self.target is not None and self.target != other.target:
+                raise UnsatisfiableSpecError(
+                    f"{self.name}: targets {self.target} and {other.target} conflict"
+                )
+            self.target = other.target
+        if other.platform is not None:
+            if self.platform is not None and self.platform != other.platform:
+                raise UnsatisfiableSpecError(
+                    f"{self.name}: platforms {self.platform} / {other.platform}"
+                )
+            self.platform = other.platform
+        for dname, dspec in other.dependencies.items():
+            if dname in self.dependencies:
+                self.dependencies[dname].constrain(dspec)
+            else:
+                self.dependencies[dname] = dspec.copy()
+        return self
+
+    # -- traversal ------------------------------------------------------------
+    def traverse(self, root: bool = True, order: str = "pre") -> Iterator["Spec"]:
+        """Depth-first traversal of the dependency DAG, deduplicated by name."""
+        seen = set()
+
+        def visit(spec: "Spec", is_root: bool) -> Iterator["Spec"]:
+            if spec.name in seen:
+                return
+            seen.add(spec.name)
+            if order == "pre" and (root or not is_root):
+                yield spec
+            for dname in sorted(spec.dependencies):
+                yield from visit(spec.dependencies[dname], False)
+            if order == "post" and (root or not is_root):
+                yield spec
+
+        yield from visit(self, True)
+
+    def __contains__(self, name: str) -> bool:
+        return any(s.name == name for s in self.traverse())
+
+    def __getitem__(self, name: str) -> "Spec":
+        for s in self.traverse():
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    # -- hashing / serialization ----------------------------------------------
+    def dag_hash(self, length: int = 32) -> str:
+        """Content hash of the full concrete DAG (stable across processes)."""
+        if self._hash is None:
+            payload = json.dumps(self.to_node_dict(deps=True), sort_keys=True)
+            self._hash = hashlib.sha256(payload.encode()).hexdigest()
+        return self._hash[:length]
+
+    def to_node_dict(self, deps: bool = False) -> Dict[str, Any]:
+        d: Dict[str, Any] = {"name": self.name}
+        if self.versions is not None:
+            d["version"] = str(self.versions)
+        if self.variants:
+            d["variants"] = {
+                k: (list(v) if isinstance(v, tuple) else v)
+                for k, v in sorted(self.variants.items())
+            }
+        if self.compiler:
+            d["compiler"] = str(self.compiler)
+        if self.target:
+            d["target"] = self.target
+        if self.platform:
+            d["platform"] = self.platform
+        if self.external_path:
+            d["external"] = self.external_path
+        if deps and self.dependencies:
+            d["dependencies"] = {
+                n: s.to_node_dict(deps=True) for n, s in sorted(self.dependencies.items())
+            }
+        return d
+
+    @classmethod
+    def from_node_dict(cls, d: Dict[str, Any], concrete: bool = False) -> "Spec":
+        spec = cls(d["name"])
+        if "version" in d:
+            spec.versions = ver(d["version"])
+        for k, v in d.get("variants", {}).items():
+            spec.variants[k] = normalize_value(tuple(v) if isinstance(v, list) else v)
+        if "compiler" in d:
+            spec.compiler = CompilerSpec.parse(d["compiler"])
+        spec.target = d.get("target")
+        spec.platform = d.get("platform")
+        spec.external_path = d.get("external")
+        for n, sub in d.get("dependencies", {}).items():
+            spec.dependencies[n] = cls.from_node_dict(sub, concrete=concrete)
+        if concrete:
+            spec.mark_concrete()
+        return spec
+
+    def copy(self) -> "Spec":
+        new = Spec.from_node_dict(self.to_node_dict(deps=True))
+        if self._concrete:
+            new.mark_concrete()
+        return new
+
+    # -- formatting -------------------------------------------------------------
+    def format(self, deps: bool = False) -> str:
+        parts = [self.name or ""]
+        if self.versions is not None:
+            parts.append(f"@{self.versions}")
+        for vname in sorted(self.variants):
+            val = self.variants[vname]
+            if val is True:
+                parts.append(f"+{vname}")
+            elif val is False:
+                parts.append(f"~{vname}")
+            elif isinstance(val, tuple):
+                parts.append(f" {vname}={','.join(val)}")
+            else:
+                parts.append(f" {vname}={val}")
+        if self.compiler:
+            parts.append(f" %{self.compiler}")
+        if self.target:
+            parts.append(f" target={self.target}")
+        out = "".join(parts).strip()
+        if deps:
+            for dname in sorted(self.dependencies):
+                out += f" ^{self.dependencies[dname].format(deps=False)}"
+        return out
+
+    def tree(self, show_hashes: bool = False) -> str:
+        """``spack spec``-style indented DAG rendering::
+
+            amg2023@1.2+caliper ...
+                ^adiak@0.4.0 ...
+                ^caliper@2.10.0 ...
+        """
+        lines = []
+        seen = set()
+
+        def visit(node: "Spec", depth: int) -> None:
+            prefix = "    " * depth + ("^" if depth else "")
+            h = f"[{node.dag_hash(7)}]  " if show_hashes and node.concrete else ""
+            lines.append(f"{prefix}{h}{node.format()}")
+            if node.name in seen:
+                return
+            seen.add(node.name)
+            for dname in sorted(node.dependencies):
+                visit(node.dependencies[dname], depth + 1)
+
+        visit(self, 0)
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.format(deps=True)
+
+    def __repr__(self):
+        return f"Spec({self.format(deps=True)!r})"
+
+    def __eq__(self, other):
+        return isinstance(other, Spec) and self.to_node_dict(deps=True) == other.to_node_dict(deps=True)
+
+    def __hash__(self):
+        return hash(json.dumps(self.to_node_dict(deps=True), sort_keys=True))

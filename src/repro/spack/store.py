@@ -1,0 +1,186 @@
+"""The installation store — database of installed packages (§3.1, component 4).
+
+A :class:`Store` is rooted at a directory; every installed spec gets a
+prefix ``<root>/<name>-<version>-<hash7>`` containing its artifacts and a
+``.spack/spec.json`` metadata record, plus an entry in the store-wide
+``index.json`` database.  This mirrors Spack's opt/spack layout closely
+enough for reuse detection, uninstall, and binary-cache round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from .spec import Spec, SpecError
+
+__all__ = ["Store", "InstallRecord", "StoreError"]
+
+
+class StoreError(SpecError):
+    pass
+
+
+class InstallRecord:
+    """One row of the install database."""
+
+    def __init__(self, spec: Spec, prefix: str, explicit: bool = False,
+                 installed_from: str = "source", build_seconds: float = 0.0):
+        self.spec = spec
+        self.prefix = prefix
+        self.explicit = explicit
+        self.installed_from = installed_from  # "source" | "cache" | "external"
+        self.build_seconds = build_seconds
+
+    def to_dict(self) -> Dict:
+        return {
+            "spec": self.spec.to_node_dict(deps=True),
+            "prefix": self.prefix,
+            "explicit": self.explicit,
+            "installed_from": self.installed_from,
+            "build_seconds": self.build_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "InstallRecord":
+        return cls(
+            Spec.from_node_dict(d["spec"], concrete=True),
+            d["prefix"],
+            d.get("explicit", False),
+            d.get("installed_from", "source"),
+            d.get("build_seconds", 0.0),
+        )
+
+
+class Store:
+    """Filesystem-backed installation database."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._records: Dict[str, InstallRecord] = {}
+        self._load()
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.json"
+
+    def _load(self) -> None:
+        if self.index_path.exists():
+            data = json.loads(self.index_path.read_text())
+            for h, rec in data.get("installs", {}).items():
+                self._records[h] = InstallRecord.from_dict(rec)
+
+    def _flush(self) -> None:
+        data = {"installs": {h: r.to_dict() for h, r in self._records.items()}}
+        self.index_path.write_text(json.dumps(data, indent=2, sort_keys=True))
+
+    # ------------------------------------------------------------------
+    def prefix_for(self, spec: Spec) -> Path:
+        if not spec.concrete:
+            raise StoreError(f"cannot compute prefix of abstract spec {spec}")
+        if spec.external:
+            return Path(spec.external_path)  # type: ignore[arg-type]
+        return self.root / f"{spec.name}-{spec.version}-{spec.dag_hash(7)}"
+
+    def is_installed(self, spec: Spec) -> bool:
+        if spec.external:
+            return True
+        return spec.dag_hash() in self._records
+
+    def get_record(self, spec: Spec) -> Optional[InstallRecord]:
+        return self._records.get(spec.dag_hash())
+
+    def add(self, spec: Spec, explicit: bool = False,
+            installed_from: str = "source", build_seconds: float = 0.0,
+            artifacts: Optional[Dict[str, str]] = None) -> InstallRecord:
+        """Register an installation, materializing its prefix on disk."""
+        if not spec.concrete:
+            raise StoreError(f"cannot install abstract spec {spec}")
+        prefix = self.prefix_for(spec)
+        if not spec.external:
+            meta = prefix / ".spack"
+            meta.mkdir(parents=True, exist_ok=True)
+            (meta / "spec.json").write_text(
+                json.dumps(spec.to_node_dict(deps=True), indent=2, sort_keys=True)
+            )
+            for rel, content in (artifacts or {}).items():
+                path = prefix / rel
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(content)
+        record = InstallRecord(spec, str(prefix), explicit=explicit,
+                               installed_from=installed_from,
+                               build_seconds=build_seconds)
+        self._records[spec.dag_hash()] = record
+        self._flush()
+        return record
+
+    def remove(self, spec: Spec) -> None:
+        h = spec.dag_hash()
+        if h not in self._records:
+            raise StoreError(f"{spec.format()} is not installed")
+        dependents = [
+            r.spec.format()
+            for r in self._records.values()
+            if r.spec.dag_hash() != h
+            and any(d.dag_hash() == h for d in r.spec.traverse(root=False))
+        ]
+        if dependents:
+            raise StoreError(
+                f"cannot uninstall {spec.format()}: required by {dependents}"
+            )
+        rec = self._records.pop(h)
+        self._flush()
+        prefix = Path(rec.prefix)
+        if prefix.exists() and prefix.is_relative_to(self.root):
+            import shutil
+
+            shutil.rmtree(prefix)
+
+    def all_records(self) -> List[InstallRecord]:
+        return list(self._records.values())
+
+    def query(self, constraint: Optional[Spec] = None) -> List[Spec]:
+        """All installed specs satisfying ``constraint`` (all if None)."""
+        specs = [r.spec for r in self._records.values()]
+        if constraint is None:
+            return sorted(specs, key=lambda s: s.name)
+        return sorted(
+            (s for s in specs if s.satisfies(constraint)), key=lambda s: s.name
+        )
+
+    def gc(self) -> List[Spec]:
+        """Garbage-collect: remove installed specs that are neither
+        explicit nor needed (transitively) by an explicit spec.  Returns
+        the removed specs (``spack gc``)."""
+        needed: set = set()
+        for rec in self._records.values():
+            if rec.explicit:
+                for node in rec.spec.traverse():
+                    needed.add(node.dag_hash())
+        removed: List[Spec] = []
+        # Iterate until stable: removing one orphan may orphan nothing else
+        # here (we compute the full needed set up front), one pass suffices,
+        # but dependents ordering matters for remove(); do leaves last.
+        orphans = [
+            rec.spec for h, rec in list(self._records.items()) if h not in needed
+        ]
+        # Remove dependents before their dependencies.
+        for spec in sorted(
+            orphans,
+            key=lambda s: -len(list(s.traverse(root=False))),
+        ):
+            if spec.dag_hash() in self._records:
+                self.remove(spec)
+                removed.append(spec)
+        return removed
+
+    def __contains__(self, spec: Spec) -> bool:
+        return self.is_installed(spec)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[InstallRecord]:
+        return iter(self._records.values())

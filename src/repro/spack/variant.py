@@ -1,0 +1,142 @@
+"""Variant semantics for the mini-Spack substrate.
+
+A *variant* is a named build option of a package.  Packages declare variants
+with the :func:`repro.spack.package.variant` directive; specs constrain them
+with ``+name`` / ``~name`` (boolean) or ``name=value`` / ``name=v1,v2``
+(single- and multi-valued).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple, Union
+
+__all__ = ["VariantDef", "VariantValue", "BoolValue", "normalize_value"]
+
+
+class VariantDef:
+    """Declaration of a variant in a package definition.
+
+    Parameters mirror Spack's ``variant()`` directive: a default value, a
+    human description, an optional set of allowed ``values``, and ``multi``
+    for multi-valued variants.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        default: Any = False,
+        description: str = "",
+        values: Optional[Sequence[Any]] = None,
+        multi: bool = False,
+    ):
+        self.name = name
+        self.description = description
+        self.multi = multi
+        self.values = tuple(str(v) for v in values) if values is not None else None
+        self.default = normalize_value(default, multi=multi)
+        if isinstance(self.default, bool) and self.values is not None:
+            raise ValueError(
+                f"variant {name!r}: boolean default with explicit values"
+            )
+
+    @property
+    def is_bool(self) -> bool:
+        return isinstance(self.default, bool)
+
+    def validate(self, value: "VariantValue") -> None:
+        """Raise ValueError if ``value`` is not allowed for this variant."""
+        if self.is_bool:
+            if not isinstance(value, bool):
+                raise ValueError(
+                    f"variant {self.name!r} is boolean, got {value!r}"
+                )
+            return
+        if isinstance(value, bool):
+            raise ValueError(
+                f"variant {self.name!r} is valued, got boolean {value!r}"
+            )
+        vals = value if isinstance(value, tuple) else (value,)
+        if len(vals) > 1 and not self.multi:
+            raise ValueError(
+                f"variant {self.name!r} is single-valued, got {value!r}"
+            )
+        if self.values is not None:
+            bad = [v for v in vals if v not in self.values]
+            if bad:
+                raise ValueError(
+                    f"invalid value(s) {bad} for variant {self.name!r}; "
+                    f"allowed: {list(self.values)}"
+                )
+
+    def __repr__(self):
+        return f"VariantDef({self.name!r}, default={self.default!r}, multi={self.multi})"
+
+
+#: The value of a variant on a spec: bool, a string, or a tuple of strings
+#: (multi-valued, stored sorted for canonical form).
+VariantValue = Union[bool, str, Tuple[str, ...]]
+
+BoolValue = bool
+
+
+def normalize_value(value: Any, multi: bool = False) -> VariantValue:
+    """Canonicalize a raw variant value.
+
+    Strings ``'True'``/``'False'`` become booleans; comma strings and
+    iterables become sorted tuples when multi-valued.
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        if value in ("True", "true", "TRUE"):
+            return True
+        if value in ("False", "false", "FALSE"):
+            return False
+        if "," in value:
+            return tuple(sorted(v for v in value.split(",") if v))
+        return (value,) if multi and not isinstance(value, tuple) else value
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return tuple(sorted(str(v) for v in value))
+    return str(value)
+
+
+def value_satisfies(have: VariantValue, want: VariantValue) -> bool:
+    """True if a spec with variant value ``have`` satisfies constraint ``want``.
+
+    Multi-valued semantics are superset semantics: ``foo=a,b`` satisfies
+    ``foo=a``.
+    """
+    if isinstance(want, bool) or isinstance(have, bool):
+        return have == want
+    have_set = set(have) if isinstance(have, tuple) else {have}
+    want_set = set(want) if isinstance(want, tuple) else {want}
+    return want_set <= have_set
+
+
+def value_intersects(a: VariantValue, b: VariantValue) -> bool:
+    """True if some concrete value could satisfy both constraints."""
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a == b
+    a_set = set(a) if isinstance(a, tuple) else {a}
+    b_set = set(b) if isinstance(b, tuple) else {b}
+    # Two single-valued constraints intersect only if equal; with tuples we
+    # can always take the union for a multi-valued variant, so default True.
+    if isinstance(a, str) and isinstance(b, str):
+        return a == b
+    return True if (a_set | b_set) else False
+
+
+def value_merge(a: VariantValue, b: VariantValue) -> VariantValue:
+    """Merge two compatible constraints (union for multi-valued)."""
+    if isinstance(a, bool) or isinstance(b, bool):
+        if a != b:
+            raise ValueError(f"conflicting boolean variant values: {a} vs {b}")
+        return a
+    a_set = set(a) if isinstance(a, tuple) else {a}
+    b_set = set(b) if isinstance(b, tuple) else {b}
+    merged = tuple(sorted(a_set | b_set))
+    if isinstance(a, str) and isinstance(b, str):
+        if a != b:
+            raise ValueError(f"conflicting variant values: {a!r} vs {b!r}")
+        return a
+    return merged if len(merged) > 1 else merged[0]

@@ -1,0 +1,333 @@
+"""Version semantics for the mini-Spack substrate.
+
+Spack-style versions are dotted sequences of numeric and alphabetic
+components (``1.2.3``, ``2.3.7-gcc12.1.1-magic``, ``develop``).  Ordering
+follows Spack's rules closely enough for concretization:
+
+* numeric components compare numerically;
+* alphabetic components compare lexicographically;
+* numeric components sort *after* alphabetic ones at the same position, so
+  ``1.2`` > ``1.beta`` and named versions like ``develop``/``main`` sort
+  above all numeric releases (they are treated as infinity versions).
+
+Three kinds of version constraints appear in specs and packages:
+
+``Version``
+    a single concrete version, e.g. ``@1.2.3`` (interpreted prefix-wise when
+    used as a constraint: ``1.2`` satisfies the constraint ``1.2``, and so
+    does ``1.2.9``).
+
+``VersionRange``
+    an inclusive range ``@1.2:1.8`` (either side may be open).
+
+``VersionList``
+    a comma-separated union ``@1.2,1.4:1.6``.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import total_ordering
+from typing import Iterable, Sequence, Union
+
+__all__ = [
+    "Version",
+    "VersionRange",
+    "VersionList",
+    "ver",
+    "INFINITY_NAMES",
+]
+
+#: Named versions that sort above every numeric release, highest first.
+INFINITY_NAMES = ("develop", "main", "master", "head", "trunk")
+
+_SEGMENT_RE = re.compile(r"([0-9]+|[a-zA-Z]+)")
+
+
+@total_ordering
+class _Component:
+    """One dotted component of a version, ordered per Spack rules."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Union[int, str]):
+        self.value = value
+
+    def _key(self):
+        # Infinity names > numbers > other strings.  Encode rank first.
+        if isinstance(self.value, str) and self.value in INFINITY_NAMES:
+            # Earlier in INFINITY_NAMES means newer.
+            return (2, -INFINITY_NAMES.index(self.value), "")
+        if isinstance(self.value, int):
+            return (1, self.value, "")
+        return (0, 0, self.value)
+
+    def __eq__(self, other):
+        return isinstance(other, _Component) and self._key() == other._key()
+
+    def __lt__(self, other):
+        return self._key() < other._key()
+
+    def __hash__(self):
+        return hash(self._key())
+
+    def __repr__(self):
+        return f"_Component({self.value!r})"
+
+
+def _parse_components(string: str) -> tuple:
+    components = []
+    for part in re.split(r"[._\-]", string):
+        for seg in _SEGMENT_RE.findall(part):
+            components.append(_Component(int(seg) if seg.isdigit() else seg))
+    return tuple(components)
+
+
+@total_ordering
+class Version:
+    """A single version, e.g. ``Version('1.2.3')``.
+
+    Comparison is componentwise; a shorter version that is a prefix of a
+    longer one compares *less than* it (``1.2 < 1.2.1``), but *satisfies* it
+    in the constraint sense when used the other way around: the constraint
+    ``@1.2`` is satisfied by ``1.2.1``.
+    """
+
+    __slots__ = ("string", "components")
+
+    def __init__(self, string: Union[str, int, float, "Version"]):
+        if isinstance(string, Version):
+            string = string.string
+        self.string = str(string)
+        if not self.string:
+            raise ValueError("empty version string")
+        self.components = _parse_components(self.string)
+
+    # -- ordering ---------------------------------------------------------
+    def __eq__(self, other):
+        if isinstance(other, str):
+            other = Version(other)
+        return isinstance(other, Version) and self.components == other.components
+
+    def __lt__(self, other):
+        if isinstance(other, str):
+            other = Version(other)
+        if not isinstance(other, Version):
+            return NotImplemented
+        return self.components < other.components
+
+    def __hash__(self):
+        return hash(self.components)
+
+    # -- constraint interface ----------------------------------------------
+    @property
+    def concrete(self) -> bool:
+        return True
+
+    def is_prefix_of(self, other: "Version") -> bool:
+        """True if ``other`` starts with all of our components."""
+        n = len(self.components)
+        return other.components[:n] == self.components
+
+    def satisfies(self, constraint: "VersionConstraint") -> bool:
+        """True if this concrete version satisfies ``constraint``.
+
+        A bare version constraint is prefix-semantics: ``1.2.3`` satisfies
+        the constraint ``1.2`` but not vice versa.
+        """
+        if isinstance(constraint, Version):
+            return constraint.is_prefix_of(self)
+        return constraint.includes(self)
+
+    def includes(self, version: "Version") -> bool:
+        """Constraint-side membership test (prefix semantics)."""
+        return self.is_prefix_of(version)
+
+    def intersects(self, other: "VersionConstraint") -> bool:
+        if isinstance(other, Version):
+            return self.is_prefix_of(other) or other.is_prefix_of(self)
+        return other.intersects(self)
+
+    def up_to(self, index: int) -> "Version":
+        """Return a truncated version: ``Version('1.2.3').up_to(2) == 1.2``."""
+        parts = [str(c.value) for c in self.components[:index]]
+        return Version(".".join(parts))
+
+    def __str__(self):
+        return self.string
+
+    def __repr__(self):
+        return f"Version({self.string!r})"
+
+
+class VersionRange:
+    """Inclusive range ``low:high``; either bound may be ``None`` (open)."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: Union[Version, str, None], high: Union[Version, str, None]):
+        self.low = Version(low) if isinstance(low, str) else low
+        self.high = Version(high) if isinstance(high, str) else high
+        if self.low and self.high and self.high < self.low and not self.low.is_prefix_of(self.high):
+            raise ValueError(f"malformed range {self.low}:{self.high}")
+
+    @property
+    def concrete(self) -> bool:
+        return False
+
+    def includes(self, version: Version) -> bool:
+        if self.low is not None:
+            # low bound is prefix-inclusive: range 1.2: includes 1.2.x
+            if version < self.low and not self.low.is_prefix_of(version):
+                return False
+        if self.high is not None:
+            if version > self.high and not self.high.is_prefix_of(version):
+                return False
+        return True
+
+    def intersects(self, other: "VersionConstraint") -> bool:
+        if isinstance(other, Version):
+            return self.includes(other)
+        if isinstance(other, VersionRange):
+            lo = max(
+                (b for b in (self.low, other.low) if b is not None),
+                default=None,
+            )
+            hi = min(
+                (b for b in (self.high, other.high) if b is not None),
+                default=None,
+            )
+            if lo is None or hi is None:
+                return True
+            return lo <= hi or lo.is_prefix_of(hi) or hi.is_prefix_of(lo)
+        return other.intersects(self)
+
+    def satisfies(self, other: "VersionConstraint") -> bool:
+        """Range satisfies another constraint if it is contained within it."""
+        if isinstance(other, Version):
+            return (
+                self.low is not None
+                and self.high is not None
+                and self.low.satisfies(other)
+                and self.high.satisfies(other)
+            )
+        if isinstance(other, VersionRange):
+            low_ok = other.low is None or (
+                self.low is not None and (self.low >= other.low or other.low.is_prefix_of(self.low))
+            )
+            high_ok = other.high is None or (
+                self.high is not None and (self.high <= other.high or other.high.is_prefix_of(self.high))
+            )
+            return low_ok and high_ok
+        if isinstance(other, VersionList):
+            return any(self.satisfies(c) for c in other.constraints)
+        return False
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, VersionRange)
+            and self.low == other.low
+            and self.high == other.high
+        )
+
+    def __hash__(self):
+        return hash((self.low, self.high))
+
+    def __str__(self):
+        return f"{self.low or ''}:{self.high or ''}"
+
+    def __repr__(self):
+        return f"VersionRange({self.low!r}, {self.high!r})"
+
+
+class VersionList:
+    """A union of versions and ranges, e.g. ``@1.2,1.4:1.6``."""
+
+    __slots__ = ("constraints",)
+
+    def __init__(self, constraints: Iterable["VersionConstraint"] = ()):
+        self.constraints = tuple(constraints)
+
+    @classmethod
+    def parse(cls, text: str) -> "VersionConstraint":
+        """Parse the text after ``@`` in a spec, e.g. ``1.2,1.4:1.6``."""
+        parts = [p for p in text.split(",") if p]
+        if not parts:
+            raise ValueError(f"empty version constraint: {text!r}")
+        constraints = [_parse_single(p) for p in parts]
+        if len(constraints) == 1:
+            return constraints[0]
+        return cls(constraints)
+
+    @property
+    def concrete(self) -> bool:
+        return len(self.constraints) == 1 and self.constraints[0].concrete
+
+    def includes(self, version: Version) -> bool:
+        return any(c.includes(version) if not isinstance(c, Version) else c.is_prefix_of(version)
+                   for c in self.constraints)
+
+    def intersects(self, other: "VersionConstraint") -> bool:
+        return any(c.intersects(other) for c in self.constraints)
+
+    def satisfies(self, other: "VersionConstraint") -> bool:
+        return all(
+            c.satisfies(other) if not isinstance(c, Version) else c.satisfies(other)
+            for c in self.constraints
+        )
+
+    def __eq__(self, other):
+        return isinstance(other, VersionList) and self.constraints == other.constraints
+
+    def __hash__(self):
+        return hash(self.constraints)
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    def __str__(self):
+        return ",".join(str(c) for c in self.constraints)
+
+    def __repr__(self):
+        return f"VersionList({list(self.constraints)!r})"
+
+
+VersionConstraint = Union[Version, VersionRange, VersionList]
+
+
+def _parse_single(text: str) -> VersionConstraint:
+    if ":" in text:
+        low, _, high = text.partition(":")
+        return VersionRange(low or None, high or None)
+    return Version(text)
+
+
+def ver(text: Union[str, int, float, Version]) -> VersionConstraint:
+    """Convenience constructor mirroring ``spack.version.ver``.
+
+    ``ver('1.2')`` → Version; ``ver('1.2:1.8')`` → VersionRange;
+    ``ver('1.2,1.4:')`` → VersionList.
+    """
+    if isinstance(text, Version):
+        return text
+    return VersionList.parse(str(text))
+
+
+def highest(versions: Sequence[Version]) -> Version:
+    """Return the highest version, preferring numeric over infinity names.
+
+    Spack's concretizer prefers the highest *released* version; ``develop``
+    and friends are only chosen if explicitly requested or nothing else
+    exists.  We mirror that policy here.
+    """
+    if not versions:
+        raise ValueError("no versions to choose from")
+    numeric = [v for v in versions if not _is_infinity(v)]
+    pool = numeric or list(versions)
+    return max(pool)
+
+
+def _is_infinity(v: Version) -> bool:
+    return any(
+        isinstance(c.value, str) and c.value in INFINITY_NAMES for c in v.components
+    )

@@ -1,0 +1,114 @@
+"""Co-design predictions — evaluating systems that do not exist yet.
+
+§1: benchmarking "enables performance modeling across different hardware …
+and is useful for co-designing future HPC system procurements."  Once the
+analytic kernel models are calibrated (they are what the executors use),
+the same models can *predict* the whole suite's figures of merit for a
+hypothetical :class:`~repro.systems.descriptor.SystemDescriptor` — a vendor
+proposal — before any hardware exists.
+
+:func:`predict_suite` returns the predicted FOM table for one descriptor;
+:func:`compare_systems` ranks a set of proposals per-FOM and overall
+(geometric-mean speedup over a reference system, the standard procurement
+scoring rule).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from .descriptor import SystemDescriptor
+from .mpi_model import MpiCostModel
+from .performance import (
+    amg_cycle_model_seconds,
+    saxpy_model_seconds,
+    stream_model_rate_mbs,
+)
+
+__all__ = ["predict_suite", "compare_systems", "DEFAULT_WORKLOAD"]
+
+#: The reference workload the predictions evaluate (mirrors the
+#: 'procurement' suite's shape at meaningful scale).
+DEFAULT_WORKLOAD = {
+    "saxpy_n": 1 << 26,
+    "amg_rows": 10 ** 7,
+    "amg_nnz": 7 * 10 ** 7,
+    "bcast_bytes": 1 << 20,
+    "n_ranks": 512,
+}
+
+
+def predict_suite(
+    system: SystemDescriptor,
+    workload: Optional[Dict[str, int]] = None,
+    use_gpu: Optional[bool] = None,
+) -> Dict[str, float]:
+    """Predicted FOMs (higher is better unless suffixed ``_seconds``)."""
+    w = dict(DEFAULT_WORKLOAD)
+    w.update(workload or {})
+    if use_gpu is None:
+        use_gpu = system.has_gpu
+    n_ranks = min(w["n_ranks"], system.total_cores)
+
+    saxpy_seconds = saxpy_model_seconds(
+        w["saxpy_n"], system, use_gpu=use_gpu, n_ranks=n_ranks)
+    saxpy_bw = 3.0 * 4.0 * w["saxpy_n"] / n_ranks / saxpy_seconds / 1e9
+
+    cycle_seconds = amg_cycle_model_seconds(
+        w["amg_rows"], w["amg_nnz"], system, n_ranks=n_ranks,
+        use_gpu=use_gpu)
+    # FOM_Solve ~ nnz·iters / solve time with iters fixed by the algorithm.
+    amg_fom = w["amg_nnz"] / cycle_seconds
+
+    bcast_seconds = MpiCostModel(system.interconnect).bcast(
+        n_ranks, w["bcast_bytes"])
+
+    return {
+        "saxpy_bandwidth_gbs": saxpy_bw,
+        "stream_triad_mbs": stream_model_rate_mbs(system, "Triad"),
+        "amg_fom_per_cycle": amg_fom,
+        "bcast_seconds": bcast_seconds,
+        "n_ranks_used": float(n_ranks),
+    }
+
+
+#: FOM direction for scoring: True = higher is better.
+_HIGHER_IS_BETTER = {
+    "saxpy_bandwidth_gbs": True,
+    "stream_triad_mbs": True,
+    "amg_fom_per_cycle": True,
+    "bcast_seconds": False,
+}
+
+
+def compare_systems(
+    proposals: Sequence[SystemDescriptor],
+    reference: SystemDescriptor,
+    workload: Optional[Dict[str, int]] = None,
+) -> List[Dict[str, object]]:
+    """Score proposed systems against a reference (procurement-style).
+
+    Each proposal gets per-FOM speedups over the reference and an overall
+    geometric-mean score; the returned list is sorted best-first.
+    """
+    if not proposals:
+        raise ValueError("no proposals to compare")
+    ref = predict_suite(reference, workload)
+    rows: List[Dict[str, object]] = []
+    for system in proposals:
+        pred = predict_suite(system, workload)
+        speedups = {}
+        for fom, higher in _HIGHER_IS_BETTER.items():
+            ratio = pred[fom] / ref[fom]
+            speedups[fom] = ratio if higher else 1.0 / ratio
+        score = math.exp(
+            sum(math.log(s) for s in speedups.values()) / len(speedups)
+        )
+        rows.append({
+            "system": system.name,
+            "predictions": pred,
+            "speedups": speedups,
+            "score": score,
+        })
+    return sorted(rows, key=lambda r: -r["score"])  # type: ignore[arg-type]

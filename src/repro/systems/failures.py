@@ -1,0 +1,108 @@
+"""Hardware failure / degradation injection.
+
+The paper's §1 motivates continuous benchmarking with "tracking system
+performance over time and diagnosing hardware failures".  To exercise that
+loop we need failures to diagnose: this module produces *degraded copies*
+of a :class:`~repro.systems.descriptor.SystemDescriptor` — a DIMM running
+at reduced bandwidth, a flaky switch adding latency, a firmware update
+clocking cores down — and schedules them over benchmarking epochs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .descriptor import InterconnectSpec, SystemDescriptor
+
+__all__ = ["Degradation", "FailureSchedule", "apply_degradation"]
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """A multiplicative hardware degradation (all factors default to 1.0 =
+    healthy; values < 1.0 slow the resource down, latency factor > 1.0
+    slows the network)."""
+
+    name: str
+    memory_bw_factor: float = 1.0
+    core_flops_factor: float = 1.0
+    network_latency_factor: float = 1.0
+    network_bw_factor: float = 1.0
+    extra_noise: float = 0.0
+
+    def validate(self) -> None:
+        if not (0.0 < self.memory_bw_factor <= 1.0):
+            raise ValueError(f"{self.name}: memory_bw_factor must be in (0, 1]")
+        if not (0.0 < self.core_flops_factor <= 1.0):
+            raise ValueError(f"{self.name}: core_flops_factor must be in (0, 1]")
+        if self.network_latency_factor < 1.0:
+            raise ValueError(f"{self.name}: latency factor must be >= 1")
+        if not (0.0 < self.network_bw_factor <= 1.0):
+            raise ValueError(f"{self.name}: network_bw_factor must be in (0, 1]")
+        if self.extra_noise < 0.0:
+            raise ValueError(f"{self.name}: extra_noise must be >= 0")
+
+
+HEALTHY = Degradation("healthy")
+
+
+def apply_degradation(system: SystemDescriptor,
+                      degradation: Degradation) -> SystemDescriptor:
+    """A degraded copy of ``system`` (the original is untouched)."""
+    degradation.validate()
+    net = system.interconnect
+    new_net = InterconnectSpec(
+        name=net.name,
+        latency_us=net.latency_us * degradation.network_latency_factor,
+        bandwidth_gbs=net.bandwidth_gbs * degradation.network_bw_factor,
+        collective_algo=net.collective_algo,
+        contention_factor=net.contention_factor,
+    )
+    degraded = dataclasses.replace(
+        system,
+        core_gflops=system.core_gflops * degradation.core_flops_factor,
+        node_mem_bw_gbs=system.node_mem_bw_gbs * degradation.memory_bw_factor,
+        interconnect=new_net,
+        noise=system.noise + degradation.extra_noise,
+    )
+    degraded.validate()
+    return degraded
+
+
+class FailureSchedule:
+    """Which degradation is active at each benchmarking epoch.
+
+    Built from (start_epoch, Degradation) entries; the entry with the
+    largest start_epoch ≤ t wins.  The default state is healthy.
+    """
+
+    def __init__(self, events: Optional[List[Tuple[int, Degradation]]] = None):
+        self.events: List[Tuple[int, Degradation]] = sorted(
+            events or [], key=lambda e: e[0]
+        )
+        for epoch, degradation in self.events:
+            if epoch < 0:
+                raise ValueError(f"negative epoch {epoch}")
+            degradation.validate()
+
+    def add(self, epoch: int, degradation: Degradation) -> "FailureSchedule":
+        self.events.append((epoch, degradation))
+        self.events.sort(key=lambda e: e[0])
+        return self
+
+    def active_at(self, epoch: int) -> Degradation:
+        current = HEALTHY
+        for start, degradation in self.events:
+            if start <= epoch:
+                current = degradation
+            else:
+                break
+        return current
+
+    def system_at(self, system: SystemDescriptor, epoch: int) -> SystemDescriptor:
+        degradation = self.active_at(epoch)
+        if degradation is HEALTHY:
+            return system
+        return apply_degradation(system, degradation)

@@ -1,0 +1,269 @@
+"""The system registry — the paper's three demonstration systems plus two
+cloud instance types (§7.2 treats cloud "like another platform").
+
+Hardware parameters are public figures for the machine classes the paper
+names (cts1 ≈ Quartz-class Xeon E5-2695v4; ats2 ≈ Sierra Power9+V100;
+ats4 EAS ≈ El Cap EAS Trento+MI-250X).  Absolute rates only set the scale of
+simulated timings; the *relative* behaviour (GPU >> CPU for saxpy, network
+contention on cts1) is what the reproduced figures depend on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .descriptor import GpuSpec, InterconnectSpec, SystemDescriptor
+
+__all__ = ["SYSTEMS", "get_system", "all_system_names"]
+
+
+def _cts1() -> SystemDescriptor:
+    return SystemDescriptor(
+        name="cts1",
+        site="LLNL",
+        nodes=2600,
+        cores_per_node=36,  # 2× Xeon E5-2695 v4
+        core_gflops=18.0,
+        node_mem_bw_gbs=120.0,
+        memory_per_node_gb=128.0,
+        cpu_target="broadwell",
+        interconnect=InterconnectSpec(
+            name="omnipath",
+            latency_us=1.5,
+            bandwidth_gbs=12.5,
+            # Old fabric under load: Fig 14 measures linear-in-p bcast.
+            collective_algo="contended",
+            contention_factor=0.15,
+        ),
+        scheduler="slurm",
+        mpi_command="srun -N {n_nodes} -n {n_ranks}",
+        batch_submit="sbatch {execute_experiment}",
+        compilers=[
+            {"spec": "gcc@12.1.1", "paths": {"cc": "/usr/tce/bin/gcc"}},
+            {"spec": "gcc@10.3.1", "paths": {"cc": "/usr/tce/bin/gcc-10"}},
+            {"spec": "intel@2021.6.0", "paths": {"cc": "/usr/tce/bin/icc"}},
+        ],
+        packages_config={
+            "blas": {
+                "externals": [
+                    {"spec": "intel-oneapi-mkl@2022.1.0",
+                     "prefix": "/usr/tce/packages/mkl/mkl-2022.1.0"}
+                ],
+                "buildable": False,
+            },
+            "lapack": {
+                "externals": [
+                    {"spec": "intel-oneapi-mkl@2022.1.0",
+                     "prefix": "/usr/tce/packages/mkl/mkl-2022.1.0"}
+                ],
+                "buildable": False,
+            },
+            "intel-oneapi-mkl": {
+                "externals": [
+                    {"spec": "intel-oneapi-mkl@2022.1.0",
+                     "prefix": "/usr/tce/packages/mkl/mkl-2022.1.0"}
+                ],
+                "buildable": False,
+            },
+            "mpi": {"providers": {"mpi": ["mvapich2"]}},
+            "mvapich2": {
+                "externals": [
+                    {"spec": "mvapich2@2.3.7-gcc12.1.1-magic",
+                     "prefix": "/usr/tce/packages/mvapich2/mvapich2-2.3.7"}
+                ],
+                "buildable": False,
+            },
+        },
+    )
+
+
+def _ats2() -> SystemDescriptor:
+    return SystemDescriptor(
+        name="ats2",
+        site="LLNL",
+        nodes=4320,
+        cores_per_node=44,  # 2× Power9, SMT off
+        core_gflops=12.0,
+        node_mem_bw_gbs=170.0,
+        memory_per_node_gb=256.0,
+        cpu_target="power9le",
+        gpu=GpuSpec(
+            model="V100",
+            count_per_node=4,
+            memory_gb=16.0,
+            fp64_gflops=7000.0,
+            mem_bw_gbs=900.0,
+            runtime="cuda",
+        ),
+        interconnect=InterconnectSpec(
+            name="infiniband-edr",
+            latency_us=1.0,
+            bandwidth_gbs=25.0,
+            collective_algo="binomial",
+        ),
+        scheduler="lsf",
+        mpi_command="jsrun -n {n_ranks} -a 1 -g 1",
+        batch_submit="bsub {execute_experiment}",
+        compilers=[
+            {"spec": "gcc@8.3.1", "paths": {"cc": "/usr/tce/bin/gcc"}},
+            {"spec": "clang@14.0.6", "paths": {"cc": "/usr/tce/bin/clang"}},
+        ],
+        packages_config={
+            "mpi": {"providers": {"mpi": ["spectrum-mpi"]}},
+            "spectrum-mpi": {
+                "externals": [
+                    {"spec": "spectrum-mpi@10.4.0.6",
+                     "prefix": "/usr/tce/packages/spectrum-mpi/10.4.0.6"}
+                ],
+                "buildable": False,
+            },
+            "cuda": {
+                "externals": [
+                    {"spec": "cuda@11.8.0", "prefix": "/usr/tce/packages/cuda/11.8.0"}
+                ],
+                "buildable": False,
+            },
+        },
+    )
+
+
+def _ats4() -> SystemDescriptor:
+    return SystemDescriptor(
+        name="ats4",
+        site="LLNL",
+        nodes=1024,  # early access system scale
+        cores_per_node=64,  # AMD Trento
+        core_gflops=20.0,
+        node_mem_bw_gbs=205.0,
+        memory_per_node_gb=512.0,
+        cpu_target="zen3_trento",
+        gpu=GpuSpec(
+            model="MI-250X",
+            count_per_node=4,  # 4 modules / 8 GCDs
+            memory_gb=128.0,
+            fp64_gflops=24000.0,
+            mem_bw_gbs=3200.0,
+            runtime="rocm",
+        ),
+        interconnect=InterconnectSpec(
+            name="slingshot-11",
+            latency_us=0.8,
+            bandwidth_gbs=50.0,
+            collective_algo="binomial",
+        ),
+        scheduler="flux",
+        mpi_command="flux run -N {n_nodes} -n {n_ranks}",
+        batch_submit="flux batch {execute_experiment}",
+        compilers=[
+            {"spec": "gcc@12.1.1", "paths": {"cc": "/opt/cray/pe/bin/gcc"}},
+            {"spec": "clang@15.0.0", "paths": {"cc": "/opt/rocm/llvm/bin/clang"}},
+        ],
+        packages_config={
+            "mpi": {"providers": {"mpi": ["cray-mpich"]}},
+            "cray-mpich": {
+                "externals": [
+                    {"spec": "cray-mpich@8.1.26", "prefix": "/opt/cray/pe/mpich/8.1.26"}
+                ],
+                "buildable": False,
+            },
+            "hip": {
+                "externals": [
+                    {"spec": "hip@5.7.1", "prefix": "/opt/rocm-5.7.1"}
+                ],
+                "buildable": False,
+            },
+        },
+    )
+
+
+def _cloud_c6i() -> SystemDescriptor:
+    """Cloud CPU instance cluster (icelake), §7.1/§7.2 comparison target."""
+    return SystemDescriptor(
+        name="cloud-c6i",
+        site="AWS",
+        nodes=64,
+        cores_per_node=32,
+        core_gflops=22.0,
+        node_mem_bw_gbs=160.0,
+        memory_per_node_gb=256.0,
+        cpu_target="icelake",
+        interconnect=InterconnectSpec(
+            name="efa",
+            latency_us=15.0,
+            bandwidth_gbs=12.5,
+            collective_algo="binomial",
+        ),
+        scheduler="slurm",
+        mpi_command="srun -N {n_nodes} -n {n_ranks}",
+        batch_submit="sbatch {execute_experiment}",
+        compilers=[{"spec": "gcc@12.1.1", "paths": {"cc": "/usr/bin/gcc"}}],
+        packages_config={"mpi": {"providers": {"mpi": ["openmpi"]}}},
+        noise=0.06,  # multi-tenant jitter
+    )
+
+
+def _cloud_p4d() -> SystemDescriptor:
+    """Cloud GPU instance cluster (A100-class, modeled as V100 entries ×2)."""
+    return SystemDescriptor(
+        name="cloud-p4d",
+        site="AWS",
+        nodes=16,
+        cores_per_node=48,
+        core_gflops=16.0,
+        node_mem_bw_gbs=190.0,
+        memory_per_node_gb=1152.0,
+        cpu_target="cascadelake",
+        gpu=GpuSpec(
+            model="A100",
+            count_per_node=8,
+            memory_gb=40.0,
+            fp64_gflops=9700.0,
+            mem_bw_gbs=1550.0,
+            runtime="cuda",
+        ),
+        interconnect=InterconnectSpec(
+            name="efa-400",
+            latency_us=12.0,
+            bandwidth_gbs=50.0,
+            collective_algo="binomial",
+        ),
+        scheduler="slurm",
+        mpi_command="srun -N {n_nodes} -n {n_ranks}",
+        batch_submit="sbatch {execute_experiment}",
+        compilers=[{"spec": "gcc@12.1.1", "paths": {"cc": "/usr/bin/gcc"}}],
+        packages_config={
+            "mpi": {"providers": {"mpi": ["openmpi"]}},
+            "cuda": {
+                "externals": [
+                    {"spec": "cuda@12.2.0", "prefix": "/usr/local/cuda-12.2"}
+                ],
+                "buildable": False,
+            },
+        },
+        noise=0.06,
+    )
+
+
+def _build() -> Dict[str, SystemDescriptor]:
+    systems = {}
+    for builder in (_cts1, _ats2, _ats4, _cloud_c6i, _cloud_p4d):
+        desc = builder()
+        desc.validate()
+        systems[desc.name] = desc
+    return systems
+
+
+SYSTEMS: Dict[str, SystemDescriptor] = _build()
+
+
+def get_system(name: str) -> SystemDescriptor:
+    try:
+        return SYSTEMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown system {name!r}; known systems: {sorted(SYSTEMS)}"
+        ) from None
+
+
+def all_system_names() -> List[str]:
+    return sorted(SYSTEMS)

@@ -1,0 +1,88 @@
+"""Tests for failure diagnosis: cross-benchmark regression fingerprints
+name the failing subsystem (§1)."""
+
+import pytest
+
+from repro.analysis.diagnosis import FOM_SUBSYSTEMS, FailureHypothesis, diagnose
+from repro.analysis.regression import RegressionEvent
+
+SUITE_FOMS = ["triad_bw", "copy_bw", "bandwidth", "total_time",
+              "fom_setup", "fom_solve"]
+
+
+def event(fom: str, epoch: float = 5.0, ratio: float = 0.5):
+    return RegressionEvent(
+        metric=f"bench/cts1/{fom}", epoch=epoch,
+        baseline=100.0, observed=100.0 * ratio, ratio=ratio,
+    )
+
+
+class TestDiagnose:
+    def test_memory_fault_fingerprint(self):
+        events = [event("triad_bw"), event("copy_bw"), event("bandwidth")]
+        hypotheses = diagnose(events, SUITE_FOMS)
+        assert hypotheses[0].subsystem == "memory"
+        assert hypotheses[0].confidence == 1.0
+        assert hypotheses[0].first_epoch == 5.0
+
+    def test_network_fault_fingerprint(self):
+        hypotheses = diagnose([event("total_time", ratio=2.0)], SUITE_FOMS)
+        assert hypotheses[0].subsystem == "network"
+        # memory FOMs were monitored but steady → no memory hypothesis
+        assert all(h.subsystem != "memory" for h in hypotheses)
+
+    def test_compute_fault_fingerprint(self):
+        hypotheses = diagnose([event("fom_setup"), event("fom_solve")],
+                              SUITE_FOMS)
+        assert hypotheses[0].subsystem == "compute"
+
+    def test_partial_evidence_lower_confidence(self):
+        # Only one of three monitored memory FOMs regressed.
+        hypotheses = diagnose([event("triad_bw")], SUITE_FOMS)
+        memory = [h for h in hypotheses if h.subsystem == "memory"][0]
+        assert memory.confidence == pytest.approx(1 / 3)
+
+    def test_mixed_failure_ranked_by_confidence(self):
+        events = [event("triad_bw"), event("copy_bw"), event("bandwidth"),
+                  event("total_time")]
+        hypotheses = diagnose(events, SUITE_FOMS)
+        assert hypotheses[0].subsystem == "memory"     # 3/3
+        assert hypotheses[1].subsystem == "network"    # 1/1 but single FOM
+        assert hypotheses[0].confidence >= hypotheses[1].confidence
+
+    def test_no_events_no_hypotheses(self):
+        assert diagnose([], SUITE_FOMS) == []
+
+    def test_unknown_fom_ignored(self):
+        assert diagnose([event("mystery_metric")], SUITE_FOMS) == []
+
+    def test_str_readable(self):
+        h = diagnose([event("triad_bw")], SUITE_FOMS)[0]
+        text = str(h)
+        assert "memory" in text and "epoch 5" in text
+
+
+class TestEndToEndDiagnosis:
+    def test_injected_dimm_diagnosed_as_memory(self, tmp_path):
+        """Full loop: injected DIMM fault → regression scan → diagnosis."""
+        from repro.core.continuous import ContinuousBenchmarking, TRACKED_FOMS
+        from repro.systems.failures import Degradation, FailureSchedule
+
+        schedule = FailureSchedule(
+            [(4, Degradation("bad-dimm", memory_bw_factor=0.5))])
+        loop = ContinuousBenchmarking("stream/openmp", "cts1", tmp_path,
+                                      schedule=schedule)
+        loop.run(epochs=8)
+        events = loop.regressions()
+        monitored = [f for f, _ in TRACKED_FOMS["stream"]]
+        hypotheses = diagnose(events, monitored)
+        assert hypotheses
+        assert hypotheses[0].subsystem == "memory"
+        assert hypotheses[0].first_epoch >= 4
+
+    def test_fom_map_covers_tracked_foms(self):
+        from repro.core.continuous import TRACKED_FOMS
+
+        for foms in TRACKED_FOMS.values():
+            for fom, _ in foms:
+                assert fom in FOM_SUBSYSTEMS, fom

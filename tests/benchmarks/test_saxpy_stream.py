@@ -1,0 +1,109 @@
+"""Tests for the saxpy and STREAM benchmark kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchmarks.saxpy import A, SaxpyResult, main as saxpy_main, run_saxpy, saxpy_kernel
+from repro.benchmarks.stream import KERNELS, main as stream_main, run_stream
+
+
+class TestSaxpyKernel:
+    def test_matches_figure7_semantics(self):
+        x = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        y = np.array([10.0, 20.0, 30.0], dtype=np.float32)
+        r = np.empty_like(x)
+        saxpy_kernel(r, x, y)
+        np.testing.assert_allclose(r, A * x + y)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            saxpy_kernel(np.zeros(3), np.zeros(4), np.zeros(3))
+
+    def test_no_input_mutation(self):
+        x = np.ones(16, dtype=np.float32)
+        y = np.ones(16, dtype=np.float32)
+        r = np.empty_like(x)
+        saxpy_kernel(r, x, y)
+        assert np.all(x == 1.0) and np.all(y == 1.0)
+
+    @given(st.integers(min_value=1, max_value=4096))
+    @settings(max_examples=25, deadline=None)
+    def test_correct_for_any_size(self, n):
+        rng = np.random.default_rng(0)
+        x = rng.random(n, dtype=np.float32)
+        y = rng.random(n, dtype=np.float32)
+        r = np.empty_like(x)
+        saxpy_kernel(r, x, y)
+        np.testing.assert_allclose(r, A * x + y, rtol=1e-6)
+
+
+class TestRunSaxpy:
+    def test_serial_run(self):
+        res = run_saxpy(1024)
+        assert res.correct
+        assert res.kernel_seconds > 0
+        assert res.bandwidth_gbs > 0
+
+    def test_parallel_run_same_checksum(self):
+        serial = run_saxpy(8192, n_ranks=1)
+        parallel = run_saxpy(8192, n_ranks=4)
+        assert parallel.correct
+        assert abs(serial.checksum - parallel.checksum) < 1e-3
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            run_saxpy(0)
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            run_saxpy(8, repeats=0)
+
+    def test_report_contains_fom_markers(self):
+        # Figure 8's regexes depend on these exact strings.
+        report = run_saxpy(64).report()
+        assert "Kernel done" in report
+        assert "saxpy kernel time:" in report
+
+    def test_cli_exit_code(self, capsys):
+        assert saxpy_main(["-n", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "Kernel done" in out
+
+    @given(st.integers(min_value=2, max_value=16))
+    @settings(max_examples=10, deadline=None)
+    def test_rank_invariant_correctness(self, ranks):
+        res = run_saxpy(4096, n_ranks=ranks, repeats=1)
+        assert res.correct
+
+
+class TestStream:
+    def test_rates_positive(self):
+        res = run_stream(50_000, ntimes=3)
+        assert res.valid
+        for k in KERNELS:
+            assert res.best_rates[k] > 0
+
+    def test_validation_recurrence(self):
+        # ntimes affects the expected final values; both must validate.
+        assert run_stream(10_000, ntimes=2).valid
+        assert run_stream(10_000, ntimes=6).valid
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            run_stream(4)
+
+    def test_single_iteration_rejected(self):
+        with pytest.raises(ValueError):
+            run_stream(10_000, ntimes=1)
+
+    def test_report_format(self):
+        rep = run_stream(10_000, ntimes=3).report()
+        assert "Best Rate MB/s" in rep
+        for k in KERNELS:
+            assert k in rep
+        assert "Solution Validates" in rep
+
+    def test_cli(self, capsys):
+        assert stream_main(["-n", "20000", "--ntimes", "3"]) == 0
+        assert "Triad" in capsys.readouterr().out

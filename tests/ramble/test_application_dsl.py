@@ -1,0 +1,162 @@
+"""Tests for the application DSL (Figure 8) and builtin applications."""
+
+import pytest
+
+from repro.ramble.application import (
+    ApplicationBase,
+    ApplicationError,
+    FigureOfMeritDef,
+    SpackApplication,
+    SuccessCriterionDef,
+    executable,
+    figure_of_merit,
+    success_criteria,
+    workload,
+    workload_variable,
+)
+from repro.ramble.apps import Amg2023, OsuMicroBenchmarks, Saxpy, Stream, builtin_applications
+
+
+class TestSaxpyFigure8:
+    """The paper's Figure 8 definition, checked field by field."""
+
+    def test_name(self):
+        assert Saxpy.app_name() == "saxpy"
+
+    def test_executable(self):
+        exe = Saxpy.executables["p"]
+        assert exe.command == "saxpy -n {n}"
+        assert exe.use_mpi is True
+
+    def test_workload(self):
+        wl = Saxpy.get_workload("problem")
+        assert wl.executables == ["p"]
+
+    def test_workload_variable(self):
+        var = Saxpy.get_workload("problem").variables["n"]
+        assert var.default == "1"
+        assert var.description == "problem size"
+
+    def test_figure_of_merit_regex(self):
+        fom = Saxpy.figures_of_merit["success"]
+        assert fom.extract("blah\nKernel done\n") == ["Kernel done"]
+        assert fom.extract("no marker") == []
+
+    def test_success_criterion(self):
+        crit = Saxpy.success_criteria["pass"]
+        assert crit.mode == "string"
+        assert crit.check_text("...\nKernel done\n")
+        assert not crit.check_text("crash")
+
+    def test_default_variables(self):
+        assert Saxpy.default_variables("problem")["n"] == "1"
+
+    def test_unknown_workload(self):
+        with pytest.raises(ApplicationError, match="unknown workload"):
+            Saxpy.get_workload("nonexistent")
+
+
+class TestFomExtraction:
+    def test_amg_foms_from_real_output(self):
+        from repro.benchmarks.amg import run_amg
+
+        text = run_amg(problem=1, n=8).report()
+        setup = Amg2023.figures_of_merit["fom_setup"].extract(text)
+        solve = Amg2023.figures_of_merit["fom_solve"].extract(text)
+        iters = Amg2023.figures_of_merit["iterations"].extract(text)
+        assert len(setup) == 1 and float(setup[0]) > 0
+        assert len(solve) == 1 and float(solve[0]) > 0
+        assert int(iters[0]) >= 1
+
+    def test_stream_foms_from_real_output(self):
+        from repro.benchmarks.stream import run_stream
+
+        text = run_stream(20_000, 3).report()
+        triad = Stream.figures_of_merit["triad_bw"].extract(text)
+        assert len(triad) == 1 and float(triad[0]) > 0
+        assert Stream.success_criteria["validates"].check_text(text)
+
+    def test_osu_foms_from_real_output(self):
+        from repro.benchmarks.osu import run_collective
+
+        text = run_collective("bcast", 8, max_size=64, iterations=3).report()
+        total = OsuMicroBenchmarks.figures_of_merit["total_time"].extract(text)
+        lat = OsuMicroBenchmarks.figures_of_merit["latency_8b"].extract(text)
+        assert len(total) == 1
+        assert len(lat) == 1
+
+    def test_saxpy_foms_from_real_output(self):
+        from repro.benchmarks.saxpy import run_saxpy
+
+        text = run_saxpy(256).report()
+        assert Saxpy.figures_of_merit["success"].extract(text) == ["Kernel done"]
+        assert float(Saxpy.figures_of_merit["kernel_time"].extract(text)[0]) > 0
+
+
+class TestDslValidation:
+    def test_bad_regex_rejected(self):
+        with pytest.raises(ApplicationError, match="bad regex"):
+            FigureOfMeritDef("x", "(unclosed", "g")
+
+    def test_missing_group_rejected(self):
+        with pytest.raises(ApplicationError, match="no group"):
+            FigureOfMeritDef("x", r"(?P<a>\d+)", "b")
+
+    def test_bad_success_mode(self):
+        with pytest.raises(ApplicationError, match="unknown mode"):
+            SuccessCriterionDef("x", mode="telepathy")
+
+    def test_workload_variable_unknown_workload(self):
+        with pytest.raises(ApplicationError, match="unknown workload"):
+            class Bad(SpackApplication):
+                name = "bad"
+                executable("e", "bad")
+                workload("w", executables=["e"])
+                workload_variable("v", default="1", workloads=["nope"])
+
+    def test_workload_unknown_executable(self):
+        class Dangling(SpackApplication):
+            name = "dangling"
+            executable("e", "ok")
+            workload("w", executables=["ghost"])
+
+        with pytest.raises(ApplicationError, match="unknown executable"):
+            Dangling.commands_for("w")
+
+    def test_inheritance_copies_workloads(self):
+        class Base(SpackApplication):
+            name = "base"
+            executable("e", "run")
+            workload("w", executables=["e"])
+            workload_variable("v", default="1", workloads=["w"])
+
+        class Derived(Base):
+            name = "derived"
+            workload_variable("v2", default="2", workloads=["w"])
+
+        assert "v2" in Derived.get_workload("w").variables
+        assert "v2" not in Base.get_workload("w").variables
+
+
+class TestRepository:
+    def test_builtin_apps_registered(self):
+        repo = builtin_applications()
+        assert {
+            "amg2023", "osu-micro-benchmarks", "quicksilver", "saxpy", "stream"
+        } <= set(repo.all_names())
+
+    def test_get_unknown(self):
+        with pytest.raises(ApplicationError, match="unknown application"):
+            builtin_applications().get("mystery")
+
+    def test_register_custom(self):
+        from repro.ramble.apps import ApplicationRepository
+
+        class Custom(SpackApplication):
+            name = "custom"
+            executable("e", "custom")
+            workload("w", executables=["e"])
+
+        repo = ApplicationRepository()
+        repo.register(Custom)
+        assert repo.get("custom") is Custom

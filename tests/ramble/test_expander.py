@@ -1,0 +1,107 @@
+"""Tests for the Ramble variable expander."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ramble.expander import Expander, ExpansionError
+
+
+class TestBasicExpansion:
+    def test_simple(self):
+        e = Expander({"n": "512"})
+        assert e.expand("saxpy -n {n}") == "saxpy -n 512"
+
+    def test_multiple(self):
+        e = Expander({"n_nodes": "2", "n_ranks": "16"})
+        assert e.expand("srun -N {n_nodes} -n {n_ranks}") == "srun -N 2 -n 16"
+
+    def test_nested_references(self):
+        e = Expander({"a": "{b}", "b": "{c}", "c": "42"})
+        assert e.expand("{a}") == "42"
+
+    def test_undefined_raises(self):
+        e = Expander({})
+        with pytest.raises(ExpansionError, match="undefined"):
+            e.expand("{missing}")
+
+    def test_cycle_detected(self):
+        e = Expander({"a": "{b}", "b": "{a}"})
+        with pytest.raises(ExpansionError, match="cyclic"):
+            e.expand("{a}")
+
+    def test_self_cycle(self):
+        e = Expander({"a": "{a}"})
+        with pytest.raises(ExpansionError, match="cyclic"):
+            e.expand_var("a")
+
+    def test_no_refs_passthrough(self):
+        e = Expander({})
+        assert e.expand("plain text") == "plain text"
+
+    def test_expand_var(self):
+        e = Expander({"cmd": "run -n {n}", "n": "8"})
+        assert e.expand_var("cmd") == "run -n 8"
+
+
+class TestArithmetic:
+    def test_figure10_rank_derivation(self):
+        # n_ranks = processes_per_node * n_nodes (Ramble's derived variable)
+        e = Expander({"processes_per_node": "8", "n_nodes": "2",
+                      "n_ranks": "{processes_per_node}*{n_nodes}"})
+        assert e.expand_var("n_ranks") == "16"
+
+    def test_nested_arithmetic(self):
+        e = Expander({"a": "4", "b": "{a}*2", "c": "{b}+1"})
+        assert e.expand_var("c") == "9"
+
+    def test_division_floats(self):
+        e = Expander({"x": "10", "half": "{x}/4"})
+        assert e.expand_var("half") == "2.5"
+
+    def test_literal_number_untouched(self):
+        e = Expander({"n": "0512"})
+        assert e.expand("{n}") == "0512"
+
+    def test_version_string_not_arithmetic(self):
+        e = Expander({"v": "2.3.7-gcc12.1.1"})
+        assert e.expand("{v}") == "2.3.7-gcc12.1.1"
+
+    def test_command_flags_not_arithmetic(self):
+        e = Expander({"n": "8"})
+        assert e.expand("saxpy -n {n}") == "saxpy -n 8"
+
+    def test_pure_arith_string_evaluated(self):
+        e = Expander({})
+        assert e.expand("3*4") == "12"
+
+
+class TestHelpers:
+    def test_copy_with(self):
+        base = Expander({"a": "1"})
+        derived = base.copy_with({"b": "2"})
+        assert derived.expand("{a}{b}") == "12"
+        assert "b" not in base
+
+    def test_expand_all(self):
+        e = Expander({"a": "1", "b": "{a}0"})
+        assert e.expand_all() == {"a": "1", "b": "10"}
+
+    def test_set(self):
+        e = Expander({})
+        e.set("x", "5")
+        assert e.expand("{x}") == "5"
+
+
+@given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=1, max_value=100))
+def test_multiplication_property(a, b):
+    e = Expander({"a": str(a), "b": str(b), "prod": "{a}*{b}"})
+    assert e.expand_var("prod") == str(a * b)
+
+
+@given(st.text(alphabet=st.characters(blacklist_characters="{}"), max_size=40))
+def test_braceless_text_unchanged(text):
+    from repro.ramble.expander import _is_arith_expr
+
+    e = Expander({})
+    if not _is_arith_expr(text):
+        assert e.expand(text) == text

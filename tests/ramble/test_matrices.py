@@ -1,0 +1,114 @@
+"""Tests for experiment matrix expansion (Figure 10 semantics)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ramble.matrices import MatrixError, expand_matrix
+
+
+class TestFigure10:
+    """The paper's exact example must yield 8 experiments."""
+
+    VARIABLES = {
+        "processes_per_node": ["8", "4"],
+        "n_nodes": ["1", "2"],
+        "n_threads": ["2", "4"],
+        "n": ["512", "1024"],
+        "n_ranks": "8",
+    }
+    MATRICES = [{"size_threads": ["n", "n_threads"]}]
+
+    def test_count(self):
+        exps = expand_matrix(self.VARIABLES, self.MATRICES)
+        assert len(exps) == 8  # (2 × 2 crossed) × (2 zipped)
+
+    def test_matrix_crossed(self):
+        exps = expand_matrix(self.VARIABLES, self.MATRICES)
+        combos = {(e["n"], e["n_threads"]) for e in exps}
+        assert combos == {("512", "2"), ("512", "4"), ("1024", "2"), ("1024", "4")}
+
+    def test_zip_preserved(self):
+        exps = expand_matrix(self.VARIABLES, self.MATRICES)
+        zipped = {(e["processes_per_node"], e["n_nodes"]) for e in exps}
+        # zipped pairs only — never ("8","2") crossed with ("4","1")
+        assert zipped == {("8", "1"), ("4", "2")}
+
+    def test_scalars_constant(self):
+        exps = expand_matrix(self.VARIABLES, self.MATRICES)
+        assert all(e["n_ranks"] == "8" for e in exps)
+
+
+class TestSemantics:
+    def test_no_lists_single_experiment(self):
+        assert expand_matrix({"a": "1", "b": "2"}) == [{"a": "1", "b": "2"}]
+
+    def test_all_zipped(self):
+        exps = expand_matrix({"a": ["1", "2"], "b": ["x", "y"]})
+        assert exps == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+
+    def test_zip_length_mismatch(self):
+        with pytest.raises(MatrixError, match="equal lengths"):
+            expand_matrix({"a": ["1", "2"], "b": ["x"]})
+
+    def test_single_matrix_full_cross(self):
+        exps = expand_matrix(
+            {"a": ["1", "2"], "b": ["x", "y", "z"]}, [["a", "b"]]
+        )
+        assert len(exps) == 6
+
+    def test_two_matrices_crossed(self):
+        exps = expand_matrix(
+            {"a": ["1", "2"], "b": ["x", "y"]}, [["a"], ["b"]]
+        )
+        assert len(exps) == 4
+
+    def test_matrix_and_zip_combined(self):
+        exps = expand_matrix(
+            {"a": ["1", "2"], "b": ["x", "y"], "c": ["p", "q", "r"]},
+            [["c"]],
+        )
+        assert len(exps) == 6  # zip(a,b) length 2 × matrix c length 3
+
+    def test_variable_in_two_matrices_rejected(self):
+        with pytest.raises(MatrixError, match="two matrices"):
+            expand_matrix({"a": ["1"]}, [["a"], ["a"]])
+
+    def test_matrix_undefined_variable(self):
+        with pytest.raises(MatrixError, match="undefined"):
+            expand_matrix({}, [["ghost"]])
+
+    def test_matrix_scalar_variable_rejected(self):
+        with pytest.raises(MatrixError, match="list value"):
+            expand_matrix({"a": "1"}, [["a"]])
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(MatrixError, match="empty"):
+            expand_matrix({"a": ["1"]}, [[]])
+
+    def test_multi_key_matrix_entry_rejected(self):
+        with pytest.raises(MatrixError, match="exactly one"):
+            expand_matrix({"a": ["1"], "b": ["2"]}, [{"m1": ["a"], "m2": ["b"]}])
+
+
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+)
+def test_count_formula(n_a, n_b, n_zip):
+    """#experiments = |a| × |b| × zip-length for crossed a,b + zipped c,d."""
+    variables = {
+        "a": [str(i) for i in range(n_a)],
+        "b": [str(i) for i in range(n_b)],
+        "c": [str(i) for i in range(n_zip)],
+        "d": [str(i) for i in range(n_zip)],
+    }
+    exps = expand_matrix(variables, [["a", "b"]])
+    assert len(exps) == n_a * n_b * n_zip
+
+
+@given(st.integers(min_value=1, max_value=5))
+def test_every_vector_complete(n):
+    variables = {"a": [str(i) for i in range(n)], "s": "fixed"}
+    for vector in expand_matrix(variables, [["a"]]):
+        assert set(vector) == {"a", "s"}

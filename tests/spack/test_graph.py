@@ -1,0 +1,95 @@
+"""Tests for dependency-graph analysis (repro.spack.graph)."""
+
+import pytest
+
+from repro.spack import Concretizer, parse_spec
+from repro.spack.graph import (
+    build_order,
+    critical_path,
+    graph_stats,
+    parallel_makespan,
+    spec_to_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def amg_spec():
+    return Concretizer().concretize("amg2023+caliper")
+
+
+class TestGraph:
+    def test_abstract_spec_rejected(self):
+        from repro.spack.spec import SpecError
+
+        with pytest.raises(SpecError, match="concrete"):
+            spec_to_graph(parse_spec("amg2023"))
+
+    def test_graph_matches_traversal(self, amg_spec):
+        g = spec_to_graph(amg_spec)
+        assert set(g.nodes) == {n.name for n in amg_spec.traverse()}
+
+    def test_edges_point_dep_to_dependent(self, amg_spec):
+        g = spec_to_graph(amg_spec)
+        assert g.has_edge("hypre", "amg2023")
+        assert not g.has_edge("amg2023", "hypre")
+
+    def test_build_order_valid(self, amg_spec):
+        order = build_order(amg_spec)
+        g = spec_to_graph(amg_spec)
+        position = {name: i for i, name in enumerate(order)}
+        for dep, dependent in g.edges:
+            assert position[dep] < position[dependent]
+
+    def test_build_order_deterministic(self, amg_spec):
+        assert build_order(amg_spec) == build_order(amg_spec)
+
+    def test_root_is_last(self, amg_spec):
+        assert build_order(amg_spec)[-1] == "amg2023"
+
+    def test_critical_path_ends_at_root(self, amg_spec):
+        path, seconds = critical_path(amg_spec)
+        assert path[-1] == "amg2023"
+        assert seconds > 0
+
+    def test_critical_path_is_bound_on_makespan(self, amg_spec):
+        _, cp = critical_path(amg_spec)
+        for workers in (1, 2, 4, 16):
+            assert parallel_makespan(amg_spec, workers) >= cp - 1e-9
+
+    def test_serial_makespan_is_total_cost(self, amg_spec):
+        stats = graph_stats(amg_spec)
+        serial = parallel_makespan(amg_spec, 1)
+        assert serial == pytest.approx(stats["total_build_seconds"])
+
+    def test_parallelism_monotone(self, amg_spec):
+        times = [parallel_makespan(amg_spec, w) for w in (1, 2, 4, 8)]
+        assert all(b <= a + 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_invalid_workers(self, amg_spec):
+        with pytest.raises(ValueError):
+            parallel_makespan(amg_spec, 0)
+
+    def test_stats_fields(self, amg_spec):
+        stats = graph_stats(amg_spec)
+        assert stats["nodes"] >= 5
+        assert stats["max_parallel_speedup"] >= 1.0
+
+    def test_external_costs_zero(self):
+        from repro.spack import (
+            Compiler, CompilerRegistry, CompilerSpec, ConfigScope,
+            Configuration, Version,
+        )
+
+        config = Configuration(ConfigScope("s", {"packages": {
+            "mvapich2": {"externals": [
+                {"spec": "mvapich2@2.3.7", "prefix": "/opt/mpi"}],
+                "buildable": False},
+        }}))
+        conc = Concretizer(
+            config=config,
+            compilers=CompilerRegistry(
+                [Compiler(CompilerSpec("gcc", Version("12.1.1")))]),
+        )
+        spec = conc.concretize("saxpy")
+        g = spec_to_graph(spec)
+        assert g.nodes["mvapich2"]["cost"] == 0.0

@@ -1,0 +1,238 @@
+"""Unit tests for the Spec data model and spec-string parser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spack.parser import SpecParseError, parse_spec, parse_specs
+from repro.spack.spec import CompilerSpec, Spec, UnsatisfiableSpecError
+from repro.spack.version import Version
+
+
+class TestParser:
+    def test_bare_name(self):
+        s = parse_spec("amg2023")
+        assert s.name == "amg2023"
+        assert s.versions is None
+
+    def test_paper_figure2_spec(self):
+        s = parse_spec("amg2023+caliper")
+        assert s.name == "amg2023"
+        assert s.variants == {"caliper": True}
+
+    def test_paper_figure10_spec(self):
+        s = parse_spec("saxpy@1.0.0 +openmp ^cmake@3.23.1")
+        assert s.name == "saxpy"
+        assert str(s.versions) == "1.0.0"
+        assert s.variants["openmp"] is True
+        assert "cmake" in s.dependencies
+        assert str(s.dependencies["cmake"].versions) == "3.23.1"
+
+    def test_paper_figure4_suffixed_version(self):
+        s = parse_spec("mvapich2@2.3.7-gcc12.1.1-magic")
+        assert s.name == "mvapich2"
+        assert s.versions == Version("2.3.7-gcc12.1.1-magic")
+
+    def test_negative_variant(self):
+        s = parse_spec("hypre~openmp")
+        assert s.variants["openmp"] is False
+
+    def test_compiler(self):
+        s = parse_spec("hypre %gcc@12.1.1")
+        assert s.compiler == CompilerSpec("gcc", Version("12.1.1"))
+
+    def test_compiler_without_version(self):
+        s = parse_spec("hypre %gcc")
+        assert s.compiler.name == "gcc"
+        assert s.compiler.versions is None
+
+    def test_version_range(self):
+        s = parse_spec("hypre@2.24:")
+        assert s.versions.includes(Version("2.28.0"))
+        assert not s.versions.includes(Version("2.20"))
+
+    def test_key_value_variant(self):
+        s = parse_spec("openblas threads=openmp")
+        assert s.variants["threads"] == "openmp"
+
+    def test_multi_value_variant(self):
+        s = parse_spec("saxpy cuda_arch=70,80")
+        assert s.variants["cuda_arch"] == ("70", "80")
+
+    def test_target(self):
+        s = parse_spec("saxpy target=zen3")
+        assert s.target == "zen3"
+        assert "target" not in s.variants
+
+    def test_multiple_dependencies(self):
+        s = parse_spec("amg2023 ^hypre@2.28.0 ^mvapich2")
+        assert set(s.dependencies) == {"hypre", "mvapich2"}
+
+    def test_anonymous_constraint(self):
+        s = parse_spec("+cuda")
+        assert s.name == ""
+        assert s.variants["cuda"] is True
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecParseError):
+            parse_spec("")
+
+    def test_unnamed_dependency_rejected(self):
+        with pytest.raises(SpecParseError):
+            parse_spec("amg2023 ^@1.0")
+
+    def test_duplicate_version_rejected(self):
+        with pytest.raises(SpecParseError):
+            parse_spec("amg2023@1.0@2.0")
+
+    def test_parse_specs_splits_names(self):
+        specs = parse_specs("saxpy+openmp amg2023+caliper")
+        assert [s.name for s in specs] == ["saxpy", "amg2023"]
+
+    def test_roundtrip_format(self):
+        text = "saxpy@1.0.0 +openmp ^cmake@3.23.1"
+        s = parse_spec(text)
+        again = parse_spec(s.format(deps=True))
+        assert again == s
+
+
+class TestSatisfies:
+    def test_name_mismatch(self):
+        assert not parse_spec("saxpy").satisfies(parse_spec("amg2023"))
+
+    def test_version_prefix(self):
+        assert parse_spec("saxpy@1.0.0").satisfies(parse_spec("saxpy@1.0"))
+        assert not parse_spec("saxpy@1.0").satisfies(parse_spec("saxpy@1.0.0"))
+
+    def test_variant_subset(self):
+        full = parse_spec("saxpy+openmp~cuda")
+        assert full.satisfies(parse_spec("saxpy+openmp"))
+        assert not full.satisfies(parse_spec("saxpy+cuda"))
+
+    def test_missing_variant_does_not_satisfy(self):
+        assert not parse_spec("saxpy").satisfies(parse_spec("saxpy+openmp"))
+
+    def test_anonymous_satisfies(self):
+        assert parse_spec("saxpy+cuda").satisfies(parse_spec("+cuda"))
+
+    def test_compiler_satisfies(self):
+        s = parse_spec("saxpy %gcc@12.1.1")
+        assert s.satisfies(parse_spec("saxpy %gcc"))
+        assert s.satisfies(parse_spec("saxpy %gcc@12"))
+        assert not s.satisfies(parse_spec("saxpy %clang"))
+
+    def test_transitive_dependency_satisfies(self):
+        s = parse_spec("amg2023 ^hypre@2.28.0")
+        assert s.satisfies(parse_spec("amg2023 ^hypre@2.24:"))
+        assert not s.satisfies(parse_spec("amg2023 ^hypre@2.29:"))
+
+
+class TestConstrain:
+    def test_merge_variants(self):
+        a = parse_spec("saxpy+openmp")
+        a.constrain(parse_spec("saxpy~cuda"))
+        assert a.variants == {"openmp": True, "cuda": False}
+
+    def test_conflicting_bool_variant(self):
+        a = parse_spec("saxpy+openmp")
+        with pytest.raises(UnsatisfiableSpecError):
+            a.constrain(parse_spec("saxpy~openmp"))
+
+    def test_conflicting_names(self):
+        with pytest.raises(UnsatisfiableSpecError):
+            parse_spec("saxpy").constrain(parse_spec("amg2023"))
+
+    def test_version_narrowing(self):
+        a = parse_spec("hypre@2.24:")
+        a.constrain(parse_spec("hypre@2.28.0"))
+        assert str(a.versions) == "2.28.0"
+
+    def test_disjoint_versions(self):
+        a = parse_spec("hypre@2.24")
+        with pytest.raises(UnsatisfiableSpecError):
+            a.constrain(parse_spec("hypre@2.26"))
+
+    def test_merge_dependencies(self):
+        a = parse_spec("amg2023 ^hypre+cuda")
+        a.constrain(parse_spec("amg2023 ^mvapich2@2.3.7"))
+        assert set(a.dependencies) == {"hypre", "mvapich2"}
+
+    def test_anonymous_constrain(self):
+        a = parse_spec("saxpy")
+        a.constrain(parse_spec("+cuda"))
+        assert a.variants["cuda"] is True
+        assert a.name == "saxpy"
+
+
+class TestSpecSerialization:
+    def test_node_dict_roundtrip(self):
+        s = parse_spec("saxpy@1.0.0+openmp %gcc@12.1.1 target=zen3 ^cmake@3.23.1")
+        d = s.to_node_dict(deps=True)
+        back = Spec.from_node_dict(d)
+        assert back == s
+
+    def test_dag_hash_stable(self):
+        a = parse_spec("saxpy@1.0.0+openmp")
+        b = parse_spec("saxpy@1.0.0+openmp")
+        assert a.dag_hash() == b.dag_hash()
+
+    def test_dag_hash_differs(self):
+        a = parse_spec("saxpy@1.0.0+openmp")
+        b = parse_spec("saxpy@1.0.0~openmp")
+        assert a.dag_hash() != b.dag_hash()
+
+    def test_traverse_order(self):
+        s = parse_spec("amg2023 ^hypre ^cmake")
+        names = [n.name for n in s.traverse()]
+        assert names[0] == "amg2023"
+        assert set(names) == {"amg2023", "hypre", "cmake"}
+
+    def test_contains(self):
+        s = parse_spec("amg2023 ^hypre")
+        assert "hypre" in s
+        assert "cuda" not in s
+
+    def test_getitem(self):
+        s = parse_spec("amg2023 ^hypre@2.28.0")
+        assert s["hypre"].versions == Version("2.28.0")
+        with pytest.raises(KeyError):
+            s["nonexistent"]
+
+
+# -- property-based ---------------------------------------------------------
+
+names = st.sampled_from(["saxpy", "amg2023", "hypre", "cmake", "mvapich2"])
+bool_variants = st.dictionaries(
+    st.sampled_from(["openmp", "cuda", "rocm", "caliper", "mpi"]),
+    st.booleans(),
+    max_size=4,
+)
+
+
+@given(names, bool_variants)
+def test_format_parse_roundtrip(name, variants):
+    s = Spec(name)
+    s.variants.update(variants)
+    assert parse_spec(s.format()) == s
+
+
+@given(names, bool_variants)
+def test_spec_satisfies_itself(name, variants):
+    s = Spec(name)
+    s.variants.update(variants)
+    assert s.satisfies(s)
+    assert s.intersects(s)
+
+
+@given(names, bool_variants, bool_variants)
+def test_constrain_produces_satisfying_spec(name, va, vb):
+    a, b = Spec(name), Spec(name)
+    a.variants.update(va)
+    b.variants.update(vb)
+    compatible = all(va[k] == vb[k] for k in set(va) & set(vb))
+    if compatible:
+        merged = a.copy().constrain(b)
+        assert merged.satisfies(b)
+        assert merged.satisfies(Spec(name))
+    else:
+        with pytest.raises(UnsatisfiableSpecError):
+            a.copy().constrain(b)

@@ -1,0 +1,183 @@
+"""Unit tests for mini-Spack version semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spack.version import (
+    Version,
+    VersionList,
+    VersionRange,
+    highest,
+    ver,
+)
+
+
+class TestVersionOrdering:
+    def test_numeric_ordering(self):
+        assert Version("1.2") < Version("1.10")
+        assert Version("2.0") > Version("1.99")
+
+    def test_prefix_is_less(self):
+        assert Version("1.2") < Version("1.2.1")
+
+    def test_equal(self):
+        assert Version("1.2.3") == Version("1.2.3")
+        assert Version("1.2.3") == "1.2.3"
+
+    def test_alpha_before_numeric(self):
+        assert Version("1.beta") < Version("1.2")
+        assert Version("1.alpha") < Version("1.beta")
+
+    def test_infinity_versions_sort_highest(self):
+        assert Version("develop") > Version("999.9")
+        assert Version("main") > Version("3.27.4")
+        assert Version("develop") > Version("main")
+
+    def test_suffixed_version_ordering(self):
+        # The paper's mvapich2@2.3.7-gcc12.1.1-magic extends 2.3.7
+        assert Version("2.3.7") < Version("2.3.7-gcc12.1.1-magic")
+
+    def test_hash_consistency(self):
+        assert hash(Version("1.2.3")) == hash(Version("1.2.3"))
+
+    def test_empty_version_rejected(self):
+        with pytest.raises(ValueError):
+            Version("")
+
+
+class TestVersionSatisfies:
+    def test_prefix_satisfaction(self):
+        assert Version("1.2.3").satisfies(Version("1.2"))
+        assert not Version("1.2").satisfies(Version("1.2.3"))
+
+    def test_exact_satisfaction(self):
+        assert Version("1.2").satisfies(Version("1.2"))
+
+    def test_different_versions(self):
+        assert not Version("1.3").satisfies(Version("1.2"))
+
+    def test_up_to(self):
+        assert Version("1.2.3").up_to(2) == Version("1.2")
+
+
+class TestVersionRange:
+    def test_includes_inside(self):
+        r = VersionRange("1.2", "1.8")
+        assert r.includes(Version("1.5"))
+        assert r.includes(Version("1.2"))
+        assert r.includes(Version("1.8"))
+
+    def test_excludes_outside(self):
+        r = VersionRange("1.2", "1.8")
+        assert not r.includes(Version("1.1"))
+        assert not r.includes(Version("1.9"))
+
+    def test_prefix_inclusive_bounds(self):
+        # Spack semantics: 1.2:1.8 includes 1.8.9 (prefix of high bound)
+        r = VersionRange("1.2", "1.8")
+        assert r.includes(Version("1.8.9"))
+
+    def test_open_low(self):
+        r = VersionRange(None, "2.0")
+        assert r.includes(Version("0.1"))
+        assert not r.includes(Version("2.1"))
+
+    def test_open_high(self):
+        r = VersionRange("2.24", None)
+        assert r.includes(Version("2.28.0"))
+        assert not r.includes(Version("2.23"))
+
+    def test_intersects(self):
+        assert VersionRange("1.0", "2.0").intersects(VersionRange("1.5", "3.0"))
+        assert not VersionRange("1.0", "2.0").intersects(VersionRange("3.0", "4.0"))
+
+    def test_range_satisfies_range(self):
+        assert VersionRange("1.2", "1.5").satisfies(VersionRange("1.0", "2.0"))
+        assert not VersionRange("1.2", "3.0").satisfies(VersionRange("1.0", "2.0"))
+
+    def test_malformed_range(self):
+        with pytest.raises(ValueError):
+            VersionRange("2.0", "1.0")
+
+
+class TestVer:
+    def test_single(self):
+        assert isinstance(ver("1.2.3"), Version)
+
+    def test_range(self):
+        v = ver("1.2:1.8")
+        assert isinstance(v, VersionRange)
+        assert v.low == Version("1.2")
+
+    def test_open_range(self):
+        v = ver("2.24:")
+        assert isinstance(v, VersionRange)
+        assert v.high is None
+
+    def test_list(self):
+        v = ver("1.2,1.4:1.6")
+        assert isinstance(v, VersionList)
+        assert v.includes(Version("1.2.9"))
+        assert v.includes(Version("1.5"))
+        assert not v.includes(Version("1.3"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ver("")
+
+
+class TestHighest:
+    def test_picks_max(self):
+        assert highest([Version("1.0"), Version("2.0")]) == Version("2.0")
+
+    def test_prefers_numeric_over_develop(self):
+        assert highest([Version("develop"), Version("2.0")]) == Version("2.0")
+
+    def test_develop_if_only_option(self):
+        assert highest([Version("develop")]) == Version("develop")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            highest([])
+
+
+# -- property-based tests -----------------------------------------------
+
+version_strings = st.lists(
+    st.integers(min_value=0, max_value=40), min_size=1, max_size=5
+).map(lambda parts: ".".join(map(str, parts)))
+
+
+@given(version_strings)
+def test_version_equals_itself(s):
+    assert Version(s) == Version(s)
+    assert Version(s).satisfies(Version(s))
+
+
+@given(version_strings, version_strings)
+def test_ordering_total_and_antisymmetric(a, b):
+    va, vb = Version(a), Version(b)
+    assert (va < vb) or (vb < va) or (va == vb)
+    if va < vb:
+        assert not (vb < va)
+
+
+@given(version_strings, version_strings)
+def test_prefix_satisfaction_property(a, b):
+    va, vb = Version(a), Version(b)
+    joined = Version(f"{b}.{a}")
+    assert joined.satisfies(vb)
+
+
+@given(version_strings, version_strings, version_strings)
+def test_ordering_transitive(a, b, c):
+    va, vb, vc = Version(a), Version(b), Version(c)
+    if va <= vb and vb <= vc:
+        assert va <= vc
+
+
+@given(st.lists(version_strings, min_size=1, max_size=8))
+def test_highest_is_maximal(strings):
+    versions = [Version(s) for s in strings]
+    top = highest(versions)
+    assert all(v <= top for v in versions)
