@@ -119,10 +119,18 @@ class RegressionDetector:
         return events
 
     def detect_in_db(self, db, benchmark: str, system: str, fom_name: str,
-                     epoch_key: str = "epoch") -> List[RegressionEvent]:
+                     epoch_key: str = "epoch",
+                     exclude_flaky: bool = True) -> List[RegressionEvent]:
         """Run detection over a metrics-database series (manifest[epoch_key]
-        is the time axis).  Multiple experiments per epoch are averaged."""
-        raw = db.series(benchmark, system, fom_name, epoch_key)
+        is the time axis).  Multiple experiments per epoch are averaged.
+
+        Samples from retried (flaky) runs are excluded by default: a FOM
+        measured while the system was flapping is not evidence of a
+        regression, only of the transient fault the resilience layer
+        already retried.
+        """
+        raw = db.series(benchmark, system, fom_name, epoch_key,
+                        exclude_flaky=exclude_flaky)
         by_epoch: dict = {}
         for epoch, value in raw:
             by_epoch.setdefault(epoch, []).append(value)

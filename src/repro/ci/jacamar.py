@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
+from repro.resilience import TransientError
+
 from .pipeline import CiJob
 
 __all__ = ["JacamarExecutor", "JacamarError", "SiteAccounts"]
@@ -69,7 +71,16 @@ class JacamarExecutor:
                 approved_by: Optional[str] = None) -> tuple:
         user = self.resolve_user(triggered_by, approved_by)
         job.run_as_user = user
-        ok, log = self.script_runner(job, user)
+        try:
+            ok, log = self.script_runner(job, user)
+            reason = None if ok else "script_failure"
+        except TransientError as e:
+            # A node flap / scheduler timeout under the runner is not the
+            # script's fault: classify it so `retry: when:
+            # [runner_system_failure]` policies can re-run the job.
+            ok, log = False, f"jacamar: transient runner failure: {e}"
+            reason = "runner_system_failure"
+        job.failure_reason = reason
         self.audit_log.append(
             {
                 "site": self.accounts.site,
@@ -77,19 +88,25 @@ class JacamarExecutor:
                 "triggered_by": triggered_by,
                 "ran_as": user,
                 "outcome": "success" if ok else "failed",
+                "failure_reason": reason or "",
             }
         )
         return ok, log
 
     def bound_runner(self, triggered_by: str,
                      approved_by: Optional[str] = None) -> Callable[[CiJob], tuple]:
-        """Adapter with the (job) -> (ok, log) signature GitLab runners use,
-        with the user context pre-bound for one pipeline."""
+        """Adapter with the (job) -> (ok, log, reason) signature
+        ``run_pipeline`` consumes, with the user context pre-bound for one
+        pipeline.  ``reason`` is the GitLab failure class used to match
+        ``retry: when:`` policies."""
 
         def run(job: CiJob) -> tuple:
             try:
-                return self.execute(job, triggered_by, approved_by)
+                ok, log = self.execute(job, triggered_by, approved_by)
+                return ok, log, job.failure_reason
             except JacamarError as e:
-                return False, f"jacamar: {e}"
+                # No usable account is not retryable by a rerun of the
+                # same pipeline: a permanent, runner-side refusal.
+                return False, f"jacamar: {e}", "runner_unsupported"
 
         return run

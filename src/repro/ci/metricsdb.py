@@ -88,10 +88,26 @@ class MetricsDatabase:
         return count
 
     # -- queries -----------------------------------------------------------
+    @staticmethod
+    def is_flaky(rec: MetricRecord) -> bool:
+        """True when the record came from a retried (non-converged) run —
+        the resilience layer tags those with ``flaky``/``attempts`` in the
+        manifest."""
+        flag = rec.manifest.get("flaky")
+        if isinstance(flag, str):
+            if flag.lower() in ("true", "1", "yes"):
+                return True
+        elif flag:
+            return True
+        try:
+            return int(float(rec.manifest.get("attempts", 1))) > 1
+        except (TypeError, ValueError):
+            return False
+
     def query(self, benchmark: Optional[str] = None, system: Optional[str] = None,
               fom_name: Optional[str] = None,
-              predicate: Optional[Callable[[MetricRecord], bool]] = None
-              ) -> List[MetricRecord]:
+              predicate: Optional[Callable[[MetricRecord], bool]] = None,
+              exclude_flaky: bool = False) -> List[MetricRecord]:
         out = []
         for rec in self._records:
             if benchmark is not None and rec.benchmark != benchmark:
@@ -102,15 +118,21 @@ class MetricsDatabase:
                 continue
             if predicate is not None and not predicate(rec):
                 continue
+            if exclude_flaky and self.is_flaky(rec):
+                continue
             out.append(rec)
         return out
 
+    def flaky_count(self) -> int:
+        return sum(1 for rec in self._records if self.is_flaky(rec))
+
     def series(self, benchmark: str, system: str, fom_name: str,
-               x_key: str) -> List[tuple]:
+               x_key: str, exclude_flaky: bool = False) -> List[tuple]:
         """(manifest[x_key], value) pairs — e.g. nprocs vs total_time for
         the Figure 14 fit — sorted by x."""
         pairs = []
-        for rec in self.query(benchmark=benchmark, system=system, fom_name=fom_name):
+        for rec in self.query(benchmark=benchmark, system=system,
+                              fom_name=fom_name, exclude_flaky=exclude_flaky):
             if x_key not in rec.manifest:
                 continue
             try:
@@ -148,20 +170,26 @@ class MetricsDatabase:
         return dict(sorted(usage.items(), key=lambda kv: -kv[1]))
 
     # -- persistence -----------------------------------------------------------
-    def dump(self, path: Path | str) -> None:
-        Path(path).write_text(
-            json.dumps([r.to_dict() for r in self._records], indent=2)
-        )
+    def to_records(self) -> List[Dict[str, Any]]:
+        """JSON-serializable record list (checkpoint embedding)."""
+        return [r.to_dict() for r in self._records]
 
     @classmethod
-    def load(cls, path: Path | str) -> "MetricsDatabase":
+    def from_records(cls, records: List[Dict[str, Any]]) -> "MetricsDatabase":
         db = cls()
-        for d in json.loads(Path(path).read_text()):
+        for d in records:
             db.record(
                 d["benchmark"], d["system"], d["experiment"], d["fom_name"],
                 d["value"], d.get("units", ""), d.get("manifest"),
             )
         return db
+
+    def dump(self, path: Path | str) -> None:
+        Path(path).write_text(json.dumps(self.to_records(), indent=2))
+
+    @classmethod
+    def load(cls, path: Path | str) -> "MetricsDatabase":
+        return cls.from_records(json.loads(Path(path).read_text()))
 
     def __len__(self):
         return len(self._records)

@@ -25,6 +25,19 @@ class CiConfigError(ValueError):
 _RESERVED_KEYS = {"stages", "variables", "default", "workflow", "include"}
 
 
+#: GitLab `retry: when:` values we honour (plus the catch-all).
+RETRY_WHEN_VALUES = {
+    "always",
+    "unknown_failure",
+    "script_failure",
+    "api_failure",
+    "stuck_or_timeout_failure",
+    "runner_system_failure",
+    "runner_unsupported",
+    "scheduler_failure",
+}
+
+
 @dataclass
 class CiJob:
     name: str
@@ -39,6 +52,18 @@ class CiJob:
     log: str = ""
     runner: Optional[str] = None
     run_as_user: Optional[str] = None
+    #: GitLab `retry: {max: N, when: [...]}` — how many times a failed run
+    #: is re-executed, and for which failure classes
+    retry_max: int = 0
+    retry_when: List[str] = field(default_factory=lambda: ["always"])
+    #: execution bookkeeping filled in by run_pipeline
+    attempts: int = 0
+    failure_reason: Optional[str] = None
+
+    def retry_applies(self, reason: Optional[str]) -> bool:
+        if "always" in self.retry_when:
+            return True
+        return reason is not None and reason in self.retry_when
 
 
 @dataclass
@@ -56,6 +81,38 @@ class Pipeline:
     @property
     def succeeded(self) -> bool:
         return self.status == "success"
+
+
+def _parse_retry(job_name: str, retry: Any) -> tuple:
+    """GitLab `retry:` — either a bare int or `{max: N, when: [...]}`;
+    max is capped at 2, exactly as GitLab enforces."""
+    if retry is None:
+        return 0, ["always"]
+    if isinstance(retry, bool):
+        raise CiConfigError(f"job {job_name!r}: retry must be int or mapping")
+    if isinstance(retry, int):
+        retry = {"max": retry}
+    if not isinstance(retry, dict):
+        raise CiConfigError(f"job {job_name!r}: retry must be int or mapping")
+    try:
+        retry_max = int(retry.get("max", 0))
+    except (TypeError, ValueError):
+        raise CiConfigError(f"job {job_name!r}: retry.max must be an integer")
+    if not (0 <= retry_max <= 2):
+        raise CiConfigError(
+            f"job {job_name!r}: retry.max must be in 0..2, got {retry_max}"
+        )
+    when = retry.get("when", ["always"])
+    if isinstance(when, str):
+        when = [when]
+    when = [str(w) for w in when]
+    unknown = [w for w in when if w not in RETRY_WHEN_VALUES]
+    if unknown:
+        raise CiConfigError(
+            f"job {job_name!r}: unknown retry.when value(s) {unknown}; "
+            f"known: {sorted(RETRY_WHEN_VALUES)}"
+        )
+    return retry_max, when
 
 
 def parse_ci_config(text: str) -> Dict[str, Any]:
@@ -87,6 +144,7 @@ def parse_ci_config(text: str) -> Dict[str, Any]:
             script = [script]
         variables = dict(global_vars)
         variables.update(body.get("variables") or {})
+        retry_max, retry_when = _parse_retry(name, body.get("retry"))
         jobs.append(
             CiJob(
                 name=name,
@@ -96,6 +154,8 @@ def parse_ci_config(text: str) -> Dict[str, Any]:
                 variables=variables,
                 allow_failure=bool(body.get("allow_failure", False)),
                 needs=[str(n) for n in body.get("needs", [])],
+                retry_max=retry_max,
+                retry_when=retry_when,
             )
         )
     if not jobs:
@@ -124,6 +184,35 @@ def build_pipeline(ref: str, sha: str, ci_text: str) -> Pipeline:
     )
 
 
+def _execute_with_retry(job: CiJob, execute_job: Callable[[CiJob], tuple]) -> bool:
+    """Run one job honouring its `retry:` policy; fills in ``job.log``,
+    ``job.attempts``, and ``job.failure_reason``.
+
+    ``execute_job(job)`` returns ``(ok, log)`` or ``(ok, log, reason)``;
+    a missing reason on failure defaults to ``"script_failure"``.
+    """
+    job.attempts = 0
+    log_parts: List[str] = []
+    while True:
+        job.attempts += 1
+        outcome = execute_job(job)
+        ok, log = bool(outcome[0]), outcome[1]
+        reason = outcome[2] if len(outcome) > 2 else None
+        if not ok and not reason:
+            reason = job.failure_reason or "script_failure"
+        log_parts.append(log)
+        job.failure_reason = None if ok else reason
+        if ok or job.attempts > job.retry_max or not job.retry_applies(reason):
+            break
+        log_parts.append(
+            f"# retrying job {job.name!r} "
+            f"(attempt {job.attempts}/{1 + job.retry_max} failed: {reason})"
+        )
+    job.log = "\n".join(p for p in log_parts if p) if len(log_parts) > 1 \
+        else log_parts[0]
+    return ok
+
+
 def run_pipeline(
     pipeline: Pipeline,
     execute_job: Callable[[CiJob], tuple],
@@ -131,7 +220,10 @@ def run_pipeline(
     """Run stages in order; a failed (non-allow_failure) job fails the
     pipeline and skips later stages.  Within a stage, `needs:` edges are
     honoured (a job whose needed job failed or was skipped is skipped).
-    ``execute_job(job) -> (ok, log)``."""
+    Jobs with a GitLab ``retry:`` policy are re-executed on matching
+    failures.  ``execute_job(job) -> (ok, log)`` or ``(ok, log, reason)``
+    where ``reason`` is a GitLab failure class like
+    ``"runner_system_failure"``."""
     pipeline.status = "running"
     failed = False
     status_of: Dict[str, str] = {}
@@ -146,22 +238,32 @@ def run_pipeline(
                     continue
                 pending.remove(job)
                 progress = True
-                needs_ok = all(status_of.get(n) == "success" for n in job.needs)
-                if failed or not needs_ok:
+                bad_needs = [n for n in job.needs
+                             if status_of.get(n) != "success"]
+                if failed or bad_needs:
                     job.status = "skipped"
+                    job.log = (
+                        f"skipped: needed job(s) did not succeed: {bad_needs}"
+                        if bad_needs else "skipped: earlier job failed"
+                    )
                     status_of[job.name] = "skipped"
                     continue
                 job.status = "running"
-                ok, log = execute_job(job)
-                job.log = log
+                ok = _execute_with_retry(job, execute_job)
                 job.status = "success" if ok else "failed"
                 status_of[job.name] = job.status
                 if not ok and not job.allow_failure:
                     failed = True
         if pending:
-            # circular or cross-stage-forward needs: mark them skipped
+            # circular or cross-stage-forward needs can never be satisfied:
+            # mark the survivors skipped, each with the reason attached.
             for job in pending:
+                unresolved = [n for n in job.needs if n not in status_of]
                 job.status = "skipped"
+                job.log = (
+                    f"skipped: unresolved needs {unresolved} "
+                    f"(circular or forward reference within stage {stage!r})"
+                )
                 status_of[job.name] = "skipped"
             failed = True
     pipeline.status = "failed" if failed else "success"

@@ -16,17 +16,27 @@ shows the loop localizing it in time.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.analysis.regression import RegressionDetector, RegressionEvent
 from repro.ci import MetricsDatabase
+from repro.resilience import (
+    CircuitBreakerRegistry,
+    FaultTolerantExecutor,
+    RetryPolicy,
+    TransientFaultInjector,
+)
 from repro.systems import SystemExecutor, get_system
 from repro.systems.failures import FailureSchedule
 
 from .driver import benchpark_setup
 
 __all__ = ["ContinuousBenchmarking"]
+
+#: checkpoint schema version, bumped on incompatible layout changes
+CHECKPOINT_VERSION = 1
 
 #: FOMs worth tracking per benchmark, with their direction.
 TRACKED_FOMS: Dict[str, List[tuple]] = {
@@ -48,6 +58,10 @@ class ContinuousBenchmarking:
         workdir: Path | str,
         schedule: Optional[FailureSchedule] = None,
         detector: Optional[RegressionDetector] = None,
+        injector: Optional[TransientFaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breakers: Optional[CircuitBreakerRegistry] = None,
+        resume: bool = True,
     ):
         self.experiment = experiment
         self.system_name = system
@@ -55,14 +69,79 @@ class ContinuousBenchmarking:
         self.workdir = Path(workdir)
         self.schedule = schedule or FailureSchedule()
         self.detector = detector or RegressionDetector(threshold=0.10, window=2)
+        self.injector = injector
+        self.retry_policy = retry_policy
+        self.breakers = breakers
+        if self.breakers is None and injector is not None:
+            self.breakers = CircuitBreakerRegistry()
         self.db = MetricsDatabase()
         self.epochs_run = 0
+        #: per-epoch resilience metadata: {epoch: {experiment: attempt info}}
+        self.attempt_history: Dict[str, Dict[str, Any]] = {}
+        if resume and self.checkpoint_path.exists():
+            self._load_checkpoint()
 
     @property
     def benchmark_name(self) -> str:
         return self.experiment.split("/")[0]
 
+    # -- checkpoint / resume -------------------------------------------
+    @property
+    def checkpoint_path(self) -> Path:
+        return self.workdir / "campaign_checkpoint.json"
+
+    def _save_checkpoint(self) -> None:
+        """Persist campaign state so a killed loop resumes where it died.
+        Written via a temp file + rename so a kill mid-write leaves the
+        previous checkpoint intact."""
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "experiment": self.experiment,
+            "system": self.system_name,
+            "epochs_run": self.epochs_run,
+            "attempt_history": self.attempt_history,
+            "records": self.db.to_records(),
+        }
+        tmp = self.checkpoint_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2))
+        tmp.replace(self.checkpoint_path)
+
+    def _load_checkpoint(self) -> None:
+        try:
+            payload = json.loads(self.checkpoint_path.read_text())
+        except json.JSONDecodeError as e:
+            raise ValueError(
+                f"checkpoint {self.checkpoint_path} is corrupt ({e}); "
+                f"delete it (or pass resume=False) to restart the campaign"
+            ) from e
+        if payload.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint {self.checkpoint_path} has version "
+                f"{payload.get('version')}; expected {CHECKPOINT_VERSION}"
+            )
+        if (payload.get("experiment") != self.experiment
+                or payload.get("system") != self.system_name):
+            raise ValueError(
+                f"checkpoint {self.checkpoint_path} is for "
+                f"{payload.get('experiment')} on {payload.get('system')}, "
+                f"not {self.experiment} on {self.system_name}"
+            )
+        self.epochs_run = int(payload["epochs_run"])
+        self.attempt_history = dict(payload.get("attempt_history", {}))
+        self.db = MetricsDatabase.from_records(payload["records"])
+
     # ------------------------------------------------------------------
+    def _executor(self, system, epoch: int):
+        inner = SystemExecutor(system, epoch=epoch)
+        if (self.injector is None and self.retry_policy is None
+                and self.breakers is None):
+            return inner
+        return FaultTolerantExecutor(
+            inner, injector=self.injector, policy=self.retry_policy,
+            breakers=self.breakers, runner_tag="continuous",
+        )
+
     def run_epoch(self) -> int:
         """One scheduled benchmarking run; returns FOMs recorded."""
         epoch = self.epochs_run
@@ -72,17 +151,51 @@ class ContinuousBenchmarking:
             self.workdir / f"epoch-{epoch}",
         )
         session.setup()
-        session.workspace.run(SystemExecutor(system, epoch=epoch))
+        outcomes = session.run(executor=self._executor(system, epoch))
         results = session.analyze()
-        # Tag every record with its epoch for the time axis.
+        # Tag every record with its epoch for the time axis, plus the
+        # attempt log so the analysis layer can tell converged samples from
+        # retried (flaky) ones.
+        by_name = {o.get("experiment"): o for o in outcomes}
+        epoch_meta: Dict[str, Any] = {}
         for exp in results["experiments"]:
-            exp.setdefault("variables", {})["epoch"] = str(epoch)
+            variables = exp.setdefault("variables", {})
+            variables["epoch"] = str(epoch)
+            outcome = by_name.get(exp["name"], {})
+            attempts = int(outcome.get("attempts", 1) or 1)
+            flaky = bool(outcome.get("flaky", False))
+            variables["attempts"] = str(attempts)
+            variables["flaky"] = "true" if flaky else "false"
+            if outcome.get("fault_kinds"):
+                variables["fault_kinds"] = ",".join(outcome["fault_kinds"])
+            if attempts != 1 or flaky:
+                epoch_meta[exp["name"]] = {
+                    "attempts": attempts,
+                    "flaky": flaky,
+                    "fault_kinds": list(outcome.get("fault_kinds", [])),
+                    "total_backoff_s": float(
+                        outcome.get("total_backoff_s", 0.0)
+                    ),
+                    "state": outcome.get("state", "completed"),
+                }
         count = self.db.ingest_analysis(self.system_name, results)
+        if epoch_meta:
+            self.attempt_history[str(epoch)] = epoch_meta
         self.epochs_run += 1
+        self._save_checkpoint()
         return count
 
     def run(self, epochs: int) -> "ContinuousBenchmarking":
+        """Run ``epochs`` *additional* epochs."""
         for _ in range(epochs):
+            self.run_epoch()
+        return self
+
+    def run_until(self, total_epochs: int) -> "ContinuousBenchmarking":
+        """Run until ``total_epochs`` epochs exist — the resumable entry
+        point: after a kill, a fresh loop picks up the checkpoint and only
+        runs the missing epochs."""
+        while self.epochs_run < total_epochs:
             self.run_epoch()
         return self
 
@@ -127,6 +240,14 @@ class ContinuousBenchmarking:
             f"continuous benchmarking: {self.experiment} on {self.system_name}",
             f"epochs run: {self.epochs_run}, records: {len(self.db)}",
         ]
+        if self.attempt_history:
+            retried = sum(len(v) for v in self.attempt_history.values())
+            lines.append(
+                f"{retried} run(s) needed retries across epochs "
+                f"{sorted(self.attempt_history)} "
+                f"({self.db.flaky_count()} flaky sample(s) excluded from "
+                f"regression analysis)"
+            )
         events = self.regressions()
         if events:
             lines.append(f"{len(events)} regression(s) detected:")

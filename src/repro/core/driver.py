@@ -157,10 +157,13 @@ class BenchparkSession:
         return experiments
 
     # -- step 8: ramble on ------------------------------------------------
-    def run(self) -> List[Dict[str, Any]]:
+    def run(self, executor=None) -> List[Dict[str, Any]]:
+        """Execute the workspace.  ``executor`` defaults to a plain
+        :class:`SystemExecutor`; the continuous-benchmarking loop passes a
+        :class:`~repro.resilience.FaultTolerantExecutor` here instead."""
         if not self.workspace.experiments:
             raise BenchparkError("run before setup(); call setup() first")
-        outcomes = self.workspace.run(SystemExecutor(self.system))
+        outcomes = self.workspace.run(executor or SystemExecutor(self.system))
         self.steps.append(WORKFLOW_STEPS[7])
         return outcomes
 
@@ -170,9 +173,9 @@ class BenchparkSession:
         self.steps.append(WORKFLOW_STEPS[8])
         return results
 
-    def run_all(self, binary_cache: Optional[BinaryCache] = None
-                ) -> Dict[str, Any]:
+    def run_all(self, binary_cache: Optional[BinaryCache] = None,
+                executor=None) -> Dict[str, Any]:
         """Steps 5–9 in one call."""
         self.setup(binary_cache=binary_cache)
-        self.run()
+        self.run(executor=executor)
         return self.analyze()

@@ -1,0 +1,52 @@
+"""Resilience layer — surviving *transient* failures in continuous
+benchmarking.
+
+The paper motivates continuous benchmarking with "tracking system
+performance over time and diagnosing hardware failures" (§1), but a real
+CI loop must first survive failures that are transient — node flaps,
+scheduler timeouts, OOM kills, filesystem hiccups — and distinguish them
+from genuine regressions before the analysis layer ever sees a FOM.
+
+This package models that boundary:
+
+* :mod:`~repro.resilience.faults` — deterministic transient-fault
+  injection, salted per (system, experiment, epoch, attempt) exactly like
+  ``SystemExecutor._noise``, and distinct from the *persistent*
+  :class:`~repro.systems.failures.Degradation`;
+* :mod:`~repro.resilience.retry` — a retryable/fatal error taxonomy and a
+  :class:`RetryPolicy` with bounded exponential backoff, deterministic
+  jitter, and per-attempt wall-clock timeouts;
+* :mod:`~repro.resilience.breaker` — circuit breakers keyed per
+  (system, runner-tag) so a sick system stops consuming campaign budget;
+* :mod:`~repro.resilience.ft_executor` — a
+  :class:`FaultTolerantExecutor` composing all of the above around any
+  inner executor (``LocalExecutor``/``SystemExecutor``/…).
+"""
+
+from .breaker import BreakerOpenError, CircuitBreaker, CircuitBreakerRegistry
+from .faults import FaultKind, TransientFault, TransientFaultInjector
+from .ft_executor import FaultTolerantExecutor
+from .retry import (
+    AttemptLog,
+    AttemptTimeout,
+    PermanentError,
+    RetryExhausted,
+    RetryPolicy,
+    TransientError,
+)
+
+__all__ = [
+    "AttemptLog",
+    "AttemptTimeout",
+    "BreakerOpenError",
+    "CircuitBreaker",
+    "CircuitBreakerRegistry",
+    "FaultKind",
+    "FaultTolerantExecutor",
+    "PermanentError",
+    "RetryExhausted",
+    "RetryPolicy",
+    "TransientError",
+    "TransientFault",
+    "TransientFaultInjector",
+]

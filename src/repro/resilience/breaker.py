@@ -1,0 +1,133 @@
+"""Circuit breakers — stop a sick system from eating the campaign budget.
+
+A retry policy protects one run; it does nothing for the *next* run against
+a system that is down for the afternoon.  The breaker closes that gap with
+the classic three states:
+
+* **closed** — healthy; every run is allowed.  Consecutive failures are
+  counted, and at ``failure_threshold`` the breaker opens.
+* **open** — sick; runs are refused outright (no queue time, no retries,
+  no backoff) until ``recovery_time_s`` of clock has passed.
+* **half-open** — recovering; a limited number of probe runs go through.
+  A probe success closes the breaker, a probe failure re-opens it.
+
+Time is an injectable callable so simulated campaigns (which have no wall
+clock to burn) can drive recovery with a fake clock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+from .retry import PermanentError
+
+__all__ = ["BreakerOpenError", "CircuitBreaker", "CircuitBreakerRegistry"]
+
+
+class BreakerOpenError(PermanentError):
+    """Run refused: the (system, runner-tag) breaker is open."""
+
+
+class CircuitBreaker:
+    """One breaker for one (system, runner-tag) stream of runs."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, failure_threshold: int = 3,
+                 recovery_time_s: float = 300.0,
+                 half_open_probes: int = 1,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_time_s < 0:
+            raise ValueError("recovery_time_s must be >= 0")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_time_s = recovery_time_s
+        self.half_open_probes = half_open_probes
+        self.clock = clock
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: float = 0.0
+        self._probes_in_flight = 0
+        #: counters for reporting
+        self.stats = {"allowed": 0, "refused": 0, "opened": 0, "closed": 0}
+
+    # ------------------------------------------------------------------
+    def _maybe_half_open(self) -> None:
+        if (self.state == self.OPEN
+                and self.clock() - self.opened_at >= self.recovery_time_s):
+            self.state = self.HALF_OPEN
+            self._probes_in_flight = 0
+
+    def allow(self) -> bool:
+        """May the next run proceed?  Half-open admits probe runs only."""
+        self._maybe_half_open()
+        if self.state == self.CLOSED:
+            self.stats["allowed"] += 1
+            return True
+        if self.state == self.HALF_OPEN:
+            if self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                self.stats["allowed"] += 1
+                return True
+        self.stats["refused"] += 1
+        return False
+
+    def record_success(self) -> None:
+        if self.state == self.HALF_OPEN:
+            self.stats["closed"] += 1
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self._probes_in_flight = 0
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN:
+            self._open()
+        elif (self.state == self.CLOSED
+                and self.consecutive_failures >= self.failure_threshold):
+            self._open()
+
+    def _open(self) -> None:
+        self.state = self.OPEN
+        self.opened_at = self.clock()
+        self._probes_in_flight = 0
+        self.stats["opened"] += 1
+
+    def __repr__(self):
+        return (f"CircuitBreaker(state={self.state!r}, "
+                f"failures={self.consecutive_failures})")
+
+
+class CircuitBreakerRegistry:
+    """Breakers keyed by (system, runner-tag), created on first use with
+    shared settings."""
+
+    def __init__(self, failure_threshold: int = 3,
+                 recovery_time_s: float = 300.0,
+                 half_open_probes: int = 1,
+                 clock: Callable[[], float] = time.monotonic):
+        self._settings = dict(
+            failure_threshold=failure_threshold,
+            recovery_time_s=recovery_time_s,
+            half_open_probes=half_open_probes,
+            clock=clock,
+        )
+        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+
+    def get(self, system: str, runner_tag: str = "default") -> CircuitBreaker:
+        key = (system, runner_tag)
+        if key not in self._breakers:
+            self._breakers[key] = CircuitBreaker(**self._settings)
+        return self._breakers[key]
+
+    def states(self) -> Dict[str, str]:
+        return {f"{s}/{t}": b.state for (s, t), b in sorted(self._breakers.items())}
+
+    def __len__(self):
+        return len(self._breakers)

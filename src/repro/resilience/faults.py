@@ -1,0 +1,134 @@
+"""Deterministic transient-fault injection.
+
+The existing :mod:`repro.systems.failures` models *persistent* hardware
+degradation — a DIMM running slow until repaired.  Transient faults are the
+other failure family a continuous-benchmarking fleet sees: a node flaps for
+one job, the scheduler times a submission out, the filesystem hiccups while
+a log is written.  They are not regressions; they must be retried, not
+analyzed.
+
+Injection is deterministic the same way :meth:`SystemExecutor._noise` is:
+a SHA-256 digest of ``(system, experiment, epoch, attempt)`` (plus the
+fault kind and an optional campaign salt) maps to a uniform number compared
+against the configured rate.  Replaying a campaign with the same salt
+replays the exact same faults — which is what makes checkpoint/resume and
+regression tests of the resilience layer possible at all.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+__all__ = ["FaultKind", "TransientFault", "TransientFaultInjector"]
+
+
+class FaultKind(str, enum.Enum):
+    """Classified transient faults, ordered by how we probe for them."""
+
+    NODE_FAILURE = "node_failure"
+    SCHEDULER_TIMEOUT = "scheduler_timeout"
+    OOM = "oom"
+    FS_HICCUP = "fs_hiccup"
+
+    def __str__(self) -> str:  # "node_failure", not "FaultKind.NODE_FAILURE"
+        return self.value
+
+
+#: Human-readable log lines per fault kind (what a real run would show).
+_FAULT_MESSAGES: Dict[FaultKind, str] = {
+    FaultKind.NODE_FAILURE: "node failed health check mid-run (DRAIN)",
+    FaultKind.SCHEDULER_TIMEOUT: "scheduler did not allocate within walltime",
+    FaultKind.OOM: "oom-killer terminated the benchmark process",
+    FaultKind.FS_HICCUP: "parallel filesystem stalled while writing the log",
+}
+
+
+@dataclass(frozen=True)
+class TransientFault:
+    """One injected transient fault occurrence."""
+
+    kind: FaultKind
+    system: str
+    experiment: str
+    epoch: int
+    attempt: int
+
+    @property
+    def message(self) -> str:
+        return (f"{_FAULT_MESSAGES[self.kind]} "
+                f"[{self.system}/{self.experiment} epoch={self.epoch} "
+                f"attempt={self.attempt}]")
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.message}"
+
+
+class TransientFaultInjector:
+    """Deterministically decides whether an attempt hits a transient fault.
+
+    Parameters
+    ----------
+    rates:
+        default per-kind fault probability in [0, 1).  Kinds absent from
+        the mapping never fire.
+    per_system:
+        optional ``{system_name: {kind: rate}}`` overrides — a flaky
+        cluster can fail more often than a healthy one in the same
+        campaign.
+    salt:
+        campaign-level salt so two campaigns over the same experiments see
+        independent fault streams.
+    """
+
+    def __init__(
+        self,
+        rates: Optional[Mapping[FaultKind, float]] = None,
+        per_system: Optional[Mapping[str, Mapping[FaultKind, float]]] = None,
+        salt: str = "",
+    ):
+        self.rates = self._validated(rates or {})
+        self.per_system = {
+            name: self._validated(r) for name, r in (per_system or {}).items()
+        }
+        self.salt = salt
+
+    @staticmethod
+    def _validated(rates: Mapping[FaultKind, float]) -> Dict[FaultKind, float]:
+        out: Dict[FaultKind, float] = {}
+        for kind, rate in rates.items():
+            kind = FaultKind(kind)
+            if not (0.0 <= rate < 1.0):
+                raise ValueError(
+                    f"fault rate for {kind} must be in [0, 1), got {rate}"
+                )
+            out[kind] = float(rate)
+        return out
+
+    def rates_for(self, system: str) -> Dict[FaultKind, float]:
+        return self.per_system.get(system, self.rates)
+
+    def _uniform(self, system: str, experiment: str, epoch: int,
+                 attempt: int, kind: FaultKind) -> float:
+        digest = hashlib.sha256(
+            f"{self.salt}:{system}:{experiment}:{epoch}:{attempt}:{kind}"
+            .encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def sample(self, system: str, experiment: str, epoch: int,
+               attempt: int) -> Optional[TransientFault]:
+        """The fault (if any) hitting this attempt; at most one fires, the
+        first in :class:`FaultKind` declaration order."""
+        for kind in FaultKind:
+            rate = self.rates_for(system).get(kind, 0.0)
+            if rate <= 0.0:
+                continue
+            if self._uniform(system, experiment, epoch, attempt, kind) < rate:
+                return TransientFault(
+                    kind=kind, system=system, experiment=experiment,
+                    epoch=epoch, attempt=attempt,
+                )
+        return None

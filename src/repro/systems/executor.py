@@ -47,8 +47,9 @@ def parse_script_commands(script_text: str) -> List[List[str]]:
         line = line.strip()
         if not line or line.startswith("#") or line.startswith(shell_builtins):
             continue
-        # strip output redirection
-        for marker in (">>", ">", "2>&1"):
+        # strip output redirection — "2>&1" before ">" so the bare ">"
+        # doesn't split it and leave a dangling "2" token
+        for marker in ("2>&1", ">>", ">"):
             idx = line.find(marker)
             if idx != -1:
                 line = line[:idx].strip()
@@ -209,15 +210,22 @@ class SystemExecutor:
         #: benchmarking epoch, salted into the jitter so continuous runs of
         #: the same experiment see realistic run-to-run variation
         self.epoch = epoch
+        #: retry attempt (1-based), set per run by FaultTolerantExecutor;
+        #: re-runs on a system that just flapped are noisier than clean runs
+        self.attempt = 1
 
     def _noise(self, experiment_name: str) -> float:
-        """Deterministic multiplicative jitter per (system, experiment, epoch)."""
-        digest = hashlib.sha256(
-            f"{self.system.name}:{experiment_name}:{self.epoch}".encode()
-        ).digest()
+        """Deterministic multiplicative jitter per (system, experiment,
+        epoch, attempt)."""
+        salt = f"{self.system.name}:{experiment_name}:{self.epoch}"
+        amplitude = self.system.noise
+        if self.attempt > 1:
+            salt += f":attempt{self.attempt}"
+            amplitude *= 1.0 + 0.5 * (self.attempt - 1)
+        digest = hashlib.sha256(salt.encode()).digest()
         u = int.from_bytes(digest[:8], "big") / 2**64
         # map uniform → symmetric noise around 1.0
-        return 1.0 + (2.0 * u - 1.0) * self.system.noise
+        return 1.0 + (2.0 * u - 1.0) * amplitude
 
     @staticmethod
     def _uses_gpu(experiment) -> bool:

@@ -88,6 +88,9 @@ class FailureSchedule:
             degradation.validate()
 
     def add(self, epoch: int, degradation: Degradation) -> "FailureSchedule":
+        if epoch < 0:
+            raise ValueError(f"negative epoch {epoch}")
+        degradation.validate()
         self.events.append((epoch, degradation))
         self.events.sort(key=lambda e: e[0])
         return self

@@ -1,0 +1,194 @@
+"""Tests for GitLab `retry:` handling and skip reasons in the pipeline."""
+
+import pytest
+
+from repro.ci.jacamar import JacamarExecutor, SiteAccounts
+from repro.ci.pipeline import (
+    CiConfigError,
+    build_pipeline,
+    parse_ci_config,
+    run_pipeline,
+)
+from repro.resilience import TransientError
+
+
+class TestRetryParsing:
+    def test_bare_int(self):
+        text = "stages: [test]\nj:\n  stage: test\n  script: [x]\n  retry: 2\n"
+        job = parse_ci_config(text)["jobs"][0]
+        assert job.retry_max == 2
+        assert job.retry_when == ["always"]
+
+    def test_mapping_with_when(self):
+        text = (
+            "stages: [test]\n"
+            "j:\n"
+            "  stage: test\n"
+            "  script: [x]\n"
+            "  retry:\n"
+            "    max: 1\n"
+            "    when: [runner_system_failure, stuck_or_timeout_failure]\n"
+        )
+        job = parse_ci_config(text)["jobs"][0]
+        assert job.retry_max == 1
+        assert job.retry_when == [
+            "runner_system_failure", "stuck_or_timeout_failure",
+        ]
+
+    def test_default_no_retry(self):
+        text = "stages: [test]\nj:\n  stage: test\n  script: [x]\n"
+        job = parse_ci_config(text)["jobs"][0]
+        assert job.retry_max == 0
+
+    def test_max_capped_like_gitlab(self):
+        text = "stages: [test]\nj:\n  stage: test\n  script: [x]\n  retry: 5\n"
+        with pytest.raises(CiConfigError, match="0..2"):
+            parse_ci_config(text)
+
+    def test_unknown_when_value_rejected(self):
+        text = (
+            "stages: [test]\n"
+            "j:\n  stage: test\n  script: [x]\n"
+            "  retry:\n    max: 1\n    when: [cosmic_rays]\n"
+        )
+        with pytest.raises(CiConfigError, match="cosmic_rays"):
+            parse_ci_config(text)
+
+
+CI_RETRY = """
+stages: [test]
+flaky:
+  stage: test
+  script: [run-benchmark]
+  retry:
+    max: 2
+    when: [runner_system_failure]
+"""
+
+
+class TestRetryExecution:
+    def test_transient_failures_retried_to_success(self):
+        pipeline = build_pipeline("main", "abc", CI_RETRY)
+        calls = []
+
+        def execute(job):
+            calls.append(job.name)
+            if len(calls) < 3:
+                return False, "node flap", "runner_system_failure"
+            return True, "ok"
+
+        run_pipeline(pipeline, execute)
+        job = pipeline.jobs[0]
+        assert pipeline.succeeded
+        assert job.status == "success"
+        assert job.attempts == 3
+        assert "retrying" in job.log
+        assert job.failure_reason is None
+
+    def test_non_matching_reason_not_retried(self):
+        pipeline = build_pipeline("main", "abc", CI_RETRY)
+        calls = []
+
+        def execute(job):
+            calls.append(job.name)
+            return False, "bad exit", "script_failure"
+
+        run_pipeline(pipeline, execute)
+        job = pipeline.jobs[0]
+        assert job.status == "failed"
+        assert job.attempts == 1  # when: [runner_system_failure] only
+        assert job.failure_reason == "script_failure"
+
+    def test_retry_budget_exhausted(self):
+        pipeline = build_pipeline("main", "abc", CI_RETRY)
+
+        def execute(job):
+            return False, "node flap", "runner_system_failure"
+
+        run_pipeline(pipeline, execute)
+        job = pipeline.jobs[0]
+        assert job.status == "failed"
+        assert job.attempts == 3  # 1 + retry_max
+        assert pipeline.status == "failed"
+
+    def test_two_tuple_runner_still_works(self):
+        """Legacy (ok, log) runners keep working; failure defaults to
+        script_failure."""
+        text = ("stages: [test]\n"
+                "j:\n  stage: test\n  script: [x]\n  retry: 1\n")
+        pipeline = build_pipeline("main", "abc", text)
+        calls = []
+
+        def execute(job):
+            calls.append(1)
+            return (len(calls) >= 2), "log line"
+
+        run_pipeline(pipeline, execute)
+        assert pipeline.succeeded
+        assert pipeline.jobs[0].attempts == 2
+
+
+CI_NEEDS = """
+stages: [test]
+a:
+  stage: test
+  script: [x]
+b:
+  stage: test
+  script: [y]
+  needs: [c]
+c:
+  stage: test
+  script: [z]
+  needs: [b]
+"""
+
+
+class TestSkipReasons:
+    def test_unresolved_needs_reason_in_log(self):
+        pipeline = build_pipeline("main", "abc", CI_NEEDS)
+        run_pipeline(pipeline, lambda j: (True, ""))
+        by_name = {j.name: j for j in pipeline.jobs}
+        assert by_name["a"].status == "success"
+        for name in ("b", "c"):
+            assert by_name[name].status == "skipped"
+            assert "unresolved needs" in by_name[name].log
+        assert pipeline.status == "failed"
+
+    def test_failed_need_reason_in_log(self):
+        text = (
+            "stages: [test]\n"
+            "a:\n  stage: test\n  script: [x]\n"
+            "b:\n  stage: test\n  script: [y]\n  needs: [a]\n"
+        )
+        pipeline = build_pipeline("main", "abc", text)
+        run_pipeline(pipeline, lambda j: (j.name != "a", "boom"))
+        by_name = {j.name: j for j in pipeline.jobs}
+        assert by_name["b"].status == "skipped"
+        assert "did not succeed" in by_name["b"].log
+
+
+class TestJacamarFailureClassification:
+    def _jacamar(self, runner):
+        accounts = SiteAccounts(site="site-x", users={"alice"})
+        return JacamarExecutor(accounts, runner)
+
+    def test_transient_runner_failure_classified(self):
+        def runner(job, user):
+            raise TransientError("node flap mid-job")
+
+        pipeline = build_pipeline("main", "abc", CI_RETRY)
+        jac = self._jacamar(runner)
+        run_pipeline(pipeline, jac.bound_runner("alice"))
+        job = pipeline.jobs[0]
+        assert job.attempts == 3  # runner_system_failure matches `when:`
+        assert job.status == "failed"
+        assert jac.audit_log[0]["failure_reason"] == "runner_system_failure"
+
+    def test_account_refusal_not_retried(self):
+        pipeline = build_pipeline("main", "abc", CI_RETRY)
+        jac = self._jacamar(lambda job, user: (True, "ok"))
+        run_pipeline(pipeline, jac.bound_runner("mallory"))
+        job = pipeline.jobs[0]
+        assert job.status == "failed"
+        assert job.attempts == 1  # runner_unsupported is not in `when:`

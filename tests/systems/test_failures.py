@@ -102,6 +102,19 @@ class TestFailureSchedule:
         schedule.add(2, Degradation("early"))
         assert [e[0] for e in schedule.events] == [2, 9]
 
+    def test_add_rejects_negative_epoch(self):
+        """add() validates like the constructor does."""
+        schedule = FailureSchedule()
+        with pytest.raises(ValueError, match="negative"):
+            schedule.add(-3, Degradation("late"))
+        assert schedule.events == []
+
+    def test_add_validates_degradation(self):
+        schedule = FailureSchedule()
+        with pytest.raises(ValueError, match="memory_bw_factor"):
+            schedule.add(1, Degradation("bogus", memory_bw_factor=2.0))
+        assert schedule.events == []
+
 
 class TestDegradationAffectsBenchmarks:
     def test_degraded_memory_slows_saxpy(self, tmp_path):

@@ -150,6 +150,14 @@ srun -N 2 -n 16 saxpy -n 512 >> /tmp/exp/log.out 2>&1
         cmds = parse_script_commands(self.SCRIPT)
         assert cmds == [["srun", "-N", "2", "-n", "16", "saxpy", "-n", "512"]]
 
+    def test_parse_strips_bare_stderr_redirect(self):
+        """`cmd 2>&1` with no preceding `>` must not leave a dangling `2`
+        token (stripping `>` first used to produce ["cmd", "2"])."""
+        assert parse_script_commands("saxpy -n 8 2>&1\n") == \
+            [["saxpy", "-n", "8"]]
+        assert parse_script_commands("saxpy -n 8 > out.log 2>&1\n") == \
+            [["saxpy", "-n", "8"]]
+
     def test_strip_launcher_srun(self):
         argv, ranks = _strip_launcher(
             ["srun", "-N", "2", "-n", "16", "saxpy", "-n", "512"]
