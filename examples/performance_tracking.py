@@ -65,8 +65,13 @@ def main() -> int:
 
         print(f"\n{loop.report()}")
 
-        bw_events = [e for e in events if "triad_bw" in e.metric]
-        assert bw_events and 5 <= bw_events[0].epoch <= 6, \
+        # Localize the incident from the *major* bandwidth drops: the bad
+        # DIMM halves bandwidth (~50% drop), while run-to-run measurement
+        # jitter can graze the detector's 10% threshold at any epoch.
+        bw_events = [e for e in events
+                     if e.metric.rsplit("/", 1)[-1] in ("triad_bw", "copy_bw")
+                     and e.ratio < 0.75]
+        assert bw_events and 5 <= min(e.epoch for e in bw_events) <= 6, \
             "the injected failure must be localized at its epoch"
         print("\nThe incident was reconstructed from FOM history alone — "
               "no human watched the machine.")

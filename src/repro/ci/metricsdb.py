@@ -14,7 +14,7 @@ import itertools
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -51,6 +51,12 @@ class MetricsDatabase:
     def __init__(self):
         self._records: List[MetricRecord] = []
         self._seq = itertools.count(1)
+        # Secondary indexes so the regression detector's (benchmark, system)
+        # scans and dashboard (system, experiment) lookups stop walking every
+        # sample ever recorded.  Lists keep insertion (seq) order, matching
+        # full-scan results exactly.
+        self._by_system_benchmark: Dict[Tuple[str, str], List[MetricRecord]] = {}
+        self._by_system_experiment: Dict[Tuple[str, str], List[MetricRecord]] = {}
 
     # -- ingestion -------------------------------------------------------
     def record(self, benchmark: str, system: str, experiment: str,
@@ -67,6 +73,8 @@ class MetricsDatabase:
             manifest=dict(manifest or {}),
         )
         self._records.append(rec)
+        self._by_system_benchmark.setdefault((system, benchmark), []).append(rec)
+        self._by_system_experiment.setdefault((system, experiment), []).append(rec)
         return rec
 
     def ingest_analysis(self, system: str, analysis: Dict[str, Any]) -> int:
@@ -106,13 +114,26 @@ class MetricsDatabase:
 
     def query(self, benchmark: Optional[str] = None, system: Optional[str] = None,
               fom_name: Optional[str] = None,
+              experiment: Optional[str] = None,
               predicate: Optional[Callable[[MetricRecord], bool]] = None,
               exclude_flaky: bool = False) -> List[MetricRecord]:
+        # Narrow the candidate set through an index before filtering: the
+        # regression detector queries (benchmark, system, fom) per tracked
+        # FOM, which was a full scan per call.
+        candidates: List[MetricRecord]
+        if system is not None and experiment is not None:
+            candidates = self._by_system_experiment.get((system, experiment), [])
+        elif system is not None and benchmark is not None:
+            candidates = self._by_system_benchmark.get((system, benchmark), [])
+        else:
+            candidates = self._records
         out = []
-        for rec in self._records:
+        for rec in candidates:
             if benchmark is not None and rec.benchmark != benchmark:
                 continue
             if system is not None and rec.system != system:
+                continue
+            if experiment is not None and rec.experiment != experiment:
                 continue
             if fom_name is not None and rec.fom_name != fom_name:
                 continue

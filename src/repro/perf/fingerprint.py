@@ -1,0 +1,163 @@
+"""Canonical content hashing — the key function of the incremental pipeline.
+
+Benchpark's premise (paper §3) is *functional reproducibility*: identical
+inputs — package recipes, system configurations, experiment specifications —
+produce identical results.  :func:`fingerprint` turns that premise into an
+addressable property: any object that describes an input to the pipeline can
+be reduced to a stable hex digest, and two inputs with the same fingerprint
+are interchangeable.  Every cache in :mod:`repro.perf` keys on these digests
+(exaCB-style incremental evaluation; SCOPE keys results the same way).
+
+Canonicalization rules:
+
+* mappings are order-insensitive (sorted by canonicalized key);
+* sets are sorted; lists/tuples preserve order;
+* ``Spec``-like objects (anything with ``to_node_dict``) hash their full
+  dependency DAG;
+* package classes (anything class-like with ``pkg_name``) hash their entire
+  recipe: versions, variants, dependencies, conflicts, provides, and the
+  class source — so editing a recipe invalidates everything built from it;
+* ``Path`` objects hash by *content* when they point at a file (a config
+  file's fingerprint changes iff its bytes do, not when it moves);
+* other objects fall back to ``to_dict()``/dataclass fields, then ``str``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import inspect
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = [
+    "fingerprint",
+    "canonicalize",
+    "fingerprint_file",
+    "package_signature",
+]
+
+#: default digest length (hex chars); 64 bits of collision resistance is
+#: plenty for cache keys that also live in human-readable provenance fields
+DIGEST_LEN = 16
+
+
+def _hash_text(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _is_package_class(obj: Any) -> bool:
+    """Duck-typed check for a mini-Spack package class (avoid importing
+    repro.spack here — it imports us)."""
+    return (
+        isinstance(obj, type)
+        and callable(getattr(obj, "pkg_name", None))
+        and hasattr(obj, "variants")
+        and hasattr(obj, "dependencies")
+    )
+
+
+def package_signature(cls: type) -> dict:
+    """The full recipe of a package class as canonical data.
+
+    Covers everything the concretizer and installer read from a recipe:
+    declared versions (with preferred/deprecated flags), variant definitions,
+    conditional dependencies, conflicts, provided virtuals, build system —
+    plus the class source code, so a changed ``cmake_args`` hook invalidates
+    builds even when the declared metadata is unchanged.
+    """
+    sig: dict = {
+        "name": cls.pkg_name(),
+        "build_system": getattr(cls, "build_system", ""),
+        "versions": {
+            str(v): {k: bool(m.get(k)) for k in ("preferred", "deprecated")}
+            for v, m in getattr(cls, "versions", {}).items()
+        },
+        "variants": {
+            name: {
+                "default": canonicalize(vdef.default),
+                "values": list(vdef.values) if vdef.values is not None else None,
+                "multi": bool(vdef.multi),
+            }
+            for name, vdef in getattr(cls, "variants", {}).items()
+        },
+        "dependencies": {
+            dname: [
+                {
+                    "spec": str(e["spec"]),
+                    "when": str(e["when"]) if e.get("when") is not None else None,
+                    "type": sorted(e.get("type", ())),
+                }
+                for e in entries
+            ]
+            for dname, entries in getattr(cls, "dependencies", {}).items()
+        },
+        "conflicts": [
+            {
+                "spec": str(r["spec"]),
+                "when": str(r["when"]) if r.get("when") is not None else None,
+            }
+            for r in getattr(cls, "conflict_rules", [])
+        ],
+        "provides": {
+            virtual: sorted(str(w) for w in whens if w is not None)
+            for virtual, whens in getattr(cls, "provided", {}).items()
+        },
+    }
+    try:
+        sig["source"] = _hash_text(inspect.getsource(cls))
+    except (OSError, TypeError):
+        # dynamically created classes (tests) have no retrievable source;
+        # the declared metadata above still distinguishes them
+        sig["source"] = None
+    return sig
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to JSON-serializable canonical data (see module doc)."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (bytes, bytearray)):
+        return {"__bytes__": hashlib.sha256(bytes(obj)).hexdigest()}
+    if isinstance(obj, Path):
+        return fingerprint_file(obj)
+    if _is_package_class(obj):
+        return {"__package__": package_signature(obj)}
+    if isinstance(obj, Mapping):
+        items = [
+            [canonicalize(k), canonicalize(v)] for k, v in obj.items()
+        ]
+        items.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
+        return {"__map__": items}
+    if isinstance(obj, (set, frozenset)):
+        vals = [canonicalize(v) for v in obj]
+        return {"__set__": sorted(vals, key=lambda v: json.dumps(v, sort_keys=True))}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v) for v in obj]
+    # Spec-like: the node dict covers the full dependency DAG.
+    to_node_dict = getattr(obj, "to_node_dict", None)
+    if callable(to_node_dict):
+        return {"__spec__": to_node_dict(deps=True)}
+    to_dict = getattr(obj, "to_dict", None)
+    if callable(to_dict):
+        return {"__obj__": canonicalize(to_dict())}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {"__obj__": canonicalize(dataclasses.asdict(obj))}
+    # Last resort: a stable string rendering (Version, CompilerSpec, enums).
+    return {"__str__": f"{type(obj).__name__}:{obj}"}
+
+
+def fingerprint(obj: Any, length: int = DIGEST_LEN) -> str:
+    """Stable content hash of any pipeline input (hex, ``length`` chars)."""
+    payload = json.dumps(canonicalize(obj), sort_keys=True, separators=(",", ":"))
+    return _hash_text(payload)[:length]
+
+
+def fingerprint_file(path: Path | str, length: int = DIGEST_LEN) -> dict:
+    """Canonical form of a filesystem path: content-addressed when the file
+    exists (moving a config file does not invalidate; editing it does)."""
+    path = Path(path)
+    if path.is_file():
+        return {"__file__": hashlib.sha256(path.read_bytes()).hexdigest()[:length]}
+    return {"__path__": str(path)}

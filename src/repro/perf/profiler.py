@@ -1,0 +1,86 @@
+"""Per-stage wall-time accounting for the pipeline hot path.
+
+The incremental pipeline claims speedups; this is where the evidence comes
+from.  A :class:`Profiler` records wall times per named stage
+(``epoch:setup``, ``epoch:run``, ``epoch:replay`` …) and renders them as a
+table or a JSON-able dict for bench artifacts.  Thread-safe so the parallel
+installer's workers can record into one profiler.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, List
+
+__all__ = ["Profiler"]
+
+
+class Profiler:
+    """Accumulates wall-time samples per stage name."""
+
+    def __init__(self):
+        self._times: Dict[str, List[float]] = {}
+        self._lock = threading.Lock()
+
+    def record(self, stage: str, seconds: float) -> None:
+        with self._lock:
+            self._times.setdefault(stage, []).append(float(seconds))
+
+    @contextmanager
+    def timer(self, stage: str):
+        """``with profiler.timer("epoch:setup"): ...``"""
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.record(stage, time.perf_counter() - t0)
+
+    # -- queries -----------------------------------------------------------
+    def stages(self) -> List[str]:
+        with self._lock:
+            return sorted(self._times)
+
+    def total(self, stage: str) -> float:
+        with self._lock:
+            return sum(self._times.get(stage, ()))
+
+    def count(self, stage: str) -> int:
+        with self._lock:
+            return len(self._times.get(stage, ()))
+
+    def to_dict(self) -> Dict[str, Dict[str, Any]]:
+        with self._lock:
+            out: Dict[str, Dict[str, Any]] = {}
+            for stage, samples in sorted(self._times.items()):
+                total = sum(samples)
+                out[stage] = {
+                    "count": len(samples),
+                    "total_s": total,
+                    "mean_s": total / len(samples),
+                    "max_s": max(samples),
+                }
+            return out
+
+    def merge(self, other: "Profiler") -> "Profiler":
+        for stage, samples in other._times.items():
+            with self._lock:
+                self._times.setdefault(stage, []).extend(samples)
+        return self
+
+    def report(self) -> str:
+        rows = self.to_dict()
+        if not rows:
+            return "profiler: no samples"
+        width = max(len(s) for s in rows)
+        lines = [f"{'stage'.ljust(width)}  count     total      mean"]
+        for stage, r in rows.items():
+            lines.append(
+                f"{stage.ljust(width)}  {r['count']:5d}  {r['total_s']:8.4f}s "
+                f"{r['mean_s']:8.5f}s"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"Profiler({len(self._times)} stages)"

@@ -45,6 +45,9 @@ def _safe_eval(text: str) -> Optional[Any]:
         tree = ast.parse(text, mode="eval")
     except SyntaxError:
         return None
+    except ValueError:
+        # compile() rejects lone surrogates with UnicodeEncodeError
+        return None
 
     def ev(node):
         if isinstance(node, ast.Expression):

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.perf import ContentStore, fingerprint
+
 from .compiler import CompilerNotFoundError, CompilerRegistry
 from .config import Configuration
 from .parser import parse_spec
@@ -33,7 +35,14 @@ from .repository import RepoPath, default_repo_path
 from .spec import CompilerSpec, Spec, SpecError, UnsatisfiableSpecError
 from .version import Version, highest, ver
 
-__all__ = ["Concretizer", "ConcretizationError", "NoVersionError", "NoProviderError"]
+__all__ = [
+    "Concretizer",
+    "ConcretizationError",
+    "NoVersionError",
+    "NoProviderError",
+    "concretization_memo",
+    "clear_concretization_memo",
+]
 
 #: Order in which providers are tried when configuration expresses no
 #: preference.  Mirrors Spack's de-facto defaults.
@@ -44,6 +53,24 @@ _DEFAULT_PROVIDER_ORDER = {
 }
 
 _MAX_FIXPOINT_ITERATIONS = 32
+
+#: Process-wide memo of completed solves, shared by default across every
+#: Concretizer instance.  Keys fingerprint *all* solver inputs (abstract
+#: specs, merged configuration, repo recipes, compiler registry, defaults),
+#: so sharing is safe: two concretizers that would solve identically hit the
+#: same entry, and any input change misses.
+_GLOBAL_MEMO = ContentStore("concretize")
+
+
+def concretization_memo() -> ContentStore:
+    """The process-wide concretization memo (hit/miss stats included)."""
+    return _GLOBAL_MEMO
+
+
+def clear_concretization_memo() -> None:
+    """Drop all memoized solves (tests and benchmarks use this to measure
+    cold-vs-warm behaviour)."""
+    _GLOBAL_MEMO.clear()
 
 
 class ConcretizationError(SpecError):
@@ -73,6 +100,8 @@ class Concretizer:
         default_target: str = "x86_64",
         default_platform: str = "linux",
         reuse_store=None,
+        memoize: bool = True,
+        memo: Optional[ContentStore] = None,
     ):
         self.config = config or Configuration()
         self.repo = repo_path or default_repo_path()
@@ -82,6 +111,11 @@ class Concretizer:
         #: a Store to reuse installed specs from (``spack install --reuse``);
         #: None solves everything fresh
         self.reuse_store = reuse_store
+        #: completed-solve memo; ``memo`` overrides the process-wide default,
+        #: ``memoize=False`` disables caching entirely
+        self.memo: Optional[ContentStore] = (
+            (memo if memo is not None else _GLOBAL_MEMO) if memoize else None
+        )
 
     # ------------------------------------------------------------------
     # public API
@@ -92,18 +126,69 @@ class Concretizer:
         return solved[0]
 
     def concretize_together(self, specs: List[Spec | str], unify: bool = True) -> List[Spec]:
-        """Concretize a list of roots, optionally unifying shared packages."""
+        """Concretize a list of roots, optionally unifying shared packages.
+
+        Solves are memoized by content: the key fingerprints the abstract
+        specs together with every other solver input (merged configuration,
+        repo recipes, compiler registry, target/platform defaults).  Under
+        ``unify=True`` the whole batch is one key — a root's solution depends
+        on its siblings — which is exactly environment-level reuse: the same
+        manifest re-concretizes in O(cache lookup).  With ``unify=False``
+        each root is keyed independently, so adding one root to an
+        environment re-solves only the new root.
+        """
+        memo_key = self._memo_key(specs, unify)
+        if memo_key is not None:
+            cached = self.memo.get(memo_key)
+            if cached is not None:
+                return [Spec.from_node_dict(d, concrete=True) for d in cached]
+
         roots = [parse_spec(s) if isinstance(s, str) else s.copy() for s in specs]
         results: List[Spec] = []
         cache: Dict[str, Spec] = {}
-        for root in roots:
-            if not unify:
-                cache = {}
-            solved = self._solve(root, cache)
-            results.append(solved)
+        if unify:
+            for root in roots:
+                results.append(self._solve(root, cache))
+        else:
+            for i, root in enumerate(roots):
+                per_root_key = self._memo_key([specs[i]], unify=False)
+                if per_root_key is not None:
+                    hit = self.memo.peek(per_root_key)
+                    if hit is not None:
+                        results.append(Spec.from_node_dict(hit[0], concrete=True))
+                        continue
+                solved = self._solve(root, {})
+                results.append(solved)
+                if per_root_key is not None:
+                    self._validate(solved)
+                    self.memo.put(per_root_key, [solved.to_node_dict(deps=True)])
         for solved in results:
             self._validate(solved)
+        if memo_key is not None:
+            self.memo.put(memo_key, [s.to_node_dict(deps=True) for s in results])
         return results
+
+    # ------------------------------------------------------------------
+    # memoization
+    # ------------------------------------------------------------------
+    def _memo_key(self, specs: List[Spec | str], unify: bool) -> Optional[str]:
+        """Content fingerprint of every solver input, or None when this
+        solve cannot be memoized (a reuse store's contents are mutable and
+        are not part of the fingerprint)."""
+        if self.memo is None or self.reuse_store is not None:
+            return None
+        return fingerprint({
+            "specs": [
+                s if isinstance(s, str) else s.to_node_dict(deps=True)
+                for s in specs
+            ],
+            "unify": unify,
+            "config": self.config.fingerprint(),
+            "repo": self.repo.fingerprint(),
+            "compilers": [c.to_dict() for c in self.compilers.all()],
+            "target": self.default_target,
+            "platform": self.default_platform,
+        })
 
     # ------------------------------------------------------------------
     # solving
@@ -326,9 +411,11 @@ class Concretizer:
         # Track *declared* dependency names (virtuals resolve to providers,
         # so spec.dependencies keys alone can't tell us what was handled).
         handled: set = set()
+        waves: List[List[str]] = []  # per-iteration additions, for diagnostics
         for _ in range(_MAX_FIXPOINT_ITERATIONS):
             wanted = pkg_cls.dependencies_for(spec)
             new = {n: c for n, c in wanted.items() if n not in handled}
+            waves.append(sorted(new))
             for dep_name, constraint in sorted(new.items()):
                 handled.add(dep_name)
                 dep_spec = constraint.copy()
@@ -343,8 +430,17 @@ class Concretizer:
                 spec.dependencies[solved.name] = solved
             if not new:
                 return
+        # Name the cycle instead of dying with a bare "no fixpoint": the
+        # tail of the wave history shows exactly which conditional
+        # dependencies keep (re)appearing as variants toggle.
+        tail = [w for w in waves[-4:] if w]
+        cycle = " -> ".join("{" + ", ".join(w) + "}" for w in tail)
         raise ConcretizationError(
-            f"{spec.name}: conditional dependencies did not reach a fixpoint"
+            f"{spec.name}: conditional dependencies did not reach a fixpoint "
+            f"after {_MAX_FIXPOINT_ITERATIONS} iterations; variants keep "
+            f"toggling new dependencies (last waves: {cycle}). Check the "
+            f"when= conditions of {spec.name}'s depends_on directives for a "
+            f"variant/dependency cycle."
         )
 
     # ------------------------------------------------------------------

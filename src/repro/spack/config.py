@@ -184,3 +184,18 @@ class Configuration:
         for section in sorted(sections):
             merged[section] = self.get(section)
         return yaml.safe_dump(merged, sort_keys=True)
+
+    def fingerprint(self) -> str:
+        """Content hash of the fully merged configuration — the "config
+        fingerprint" component of concretization memo keys.  Computed from
+        the merged view, so two scope stacks that merge identically share a
+        fingerprint (and a one-value edit to any packages.yaml changes it)."""
+        from repro.perf import fingerprint as _fp
+
+        merged = {}
+        sections = set()
+        for scope in self.scopes:
+            sections.update(scope.data)
+        for section in sorted(sections):
+            merged[section] = self.get(section)
+        return _fp(merged)

@@ -48,6 +48,9 @@ class Environment:
                 f"no {self.MANIFEST} in {self.path}; use Environment.create()"
             )
         self._concrete_roots: List[Spec] = []
+        #: content fingerprint of the manifest inputs the lockfile was
+        #: solved from (None for pre-fingerprint lockfiles)
+        self._lock_fingerprint: Optional[str] = None
         self._load_lock()
 
     # ------------------------------------------------------------------
@@ -121,13 +124,24 @@ class Environment:
             self._concrete_roots = [
                 Spec.from_node_dict(d, concrete=True) for d in data.get("roots", [])
             ]
+            self._lock_fingerprint = data.get("_meta", {}).get("manifest-fingerprint")
 
     def _write_lock(self) -> None:
         data = {
-            "_meta": {"file-type": "spack-lockfile", "lockfile-version": 1},
+            "_meta": {
+                "file-type": "spack-lockfile",
+                "lockfile-version": 1,
+                "manifest-fingerprint": self._lock_fingerprint,
+            },
             "roots": [s.to_node_dict(deps=True) for s in self._concrete_roots],
         }
         self.lock_path.write_text(json.dumps(data, indent=2, sort_keys=True))
+
+    @staticmethod
+    def _manifest_fingerprint(user_specs: List[str], unify: bool) -> str:
+        from repro.perf import fingerprint
+
+        return fingerprint({"specs": list(user_specs), "unify": unify})
 
     @property
     def concrete_roots(self) -> List[Spec]:
@@ -139,10 +153,17 @@ class Environment:
         user = self._read_manifest()["spack"].get("specs", [])
         if not user:
             raise EnvironmentError_("environment has no specs to concretize")
+        manifest_fp = self._manifest_fingerprint(user, self.unify)
         if self._concrete_roots and not force:
-            # The lock is fresh only if every manifest spec is *satisfied*
-            # by its locked root — name equality alone would return a stale
-            # solution after `spack add pkg+newvariant`.
+            # Fast path: the lockfile records the content fingerprint of the
+            # manifest it was solved from; an exact match means fresh with
+            # no parsing or satisfies-scan at all.
+            if manifest_fp == self._lock_fingerprint:
+                return self.concrete_roots
+            # Slow path (older lockfiles / reordered manifests): the lock is
+            # fresh only if every manifest spec is *satisfied* by its locked
+            # root — name equality alone would return a stale solution after
+            # `spack add pkg+newvariant`.
             wanted = [parse_spec(s) for s in user]
             locked_by_name = {r.name: r for r in self._concrete_roots}
             fresh = len(wanted) == len(self._concrete_roots) and all(
@@ -155,6 +176,7 @@ class Environment:
         self._concrete_roots = concretizer.concretize_together(
             list(user), unify=self.unify
         )
+        self._lock_fingerprint = manifest_fp
         self._write_lock()
         return self.concrete_roots
 

@@ -28,12 +28,28 @@ class Repository:
     def __init__(self, namespace: str):
         self.namespace = namespace
         self._packages: Dict[str, Type[PackageBase]] = {}
+        self._fingerprint: Optional[str] = None
 
     def register(self, cls: Type[PackageBase]) -> Type[PackageBase]:
         """Register a package class (usable as a decorator)."""
         name = cls.pkg_name()
         self._packages[name] = cls
+        self._fingerprint = None  # recipe set changed
         return cls
+
+    def fingerprint(self) -> str:
+        """Content hash over every recipe in this repository — the "repo
+        fingerprint" component of concretization memo keys.  Cached until the
+        package set changes (recipe *edits* mean re-registration here, since
+        classes are immutable once defined)."""
+        if self._fingerprint is None:
+            from repro.perf import fingerprint as _fp
+
+            self._fingerprint = _fp({
+                "namespace": self.namespace,
+                "packages": {n: cls for n, cls in self._packages.items()},
+            })
+        return self._fingerprint
 
     def get_class(self, name: str) -> Type[PackageBase]:
         try:
@@ -73,6 +89,13 @@ class RepoPath:
 
     def prepend(self, repo: Repository) -> None:
         self.repos.insert(0, repo)
+
+    def fingerprint(self) -> str:
+        """Combined fingerprint of the overlay, order-sensitive (an overlay
+        shadowing a builtin must hash differently from the reverse)."""
+        from repro.perf import fingerprint as _fp
+
+        return _fp([r.fingerprint() for r in self.repos])
 
     def get_class(self, name: str) -> Type[PackageBase]:
         for repo in self.repos:

@@ -312,11 +312,21 @@ class Spec:
 
     # -- hashing / serialization ----------------------------------------------
     def dag_hash(self, length: int = 32) -> str:
-        """Content hash of the full concrete DAG (stable across processes)."""
-        if self._hash is None:
-            payload = json.dumps(self.to_node_dict(deps=True), sort_keys=True)
-            self._hash = hashlib.sha256(payload.encode()).hexdigest()
-        return self._hash[:length]
+        """Content hash of the full concrete DAG (stable across processes).
+
+        Memoized on concrete (frozen) specs only: abstract specs can still
+        be mutated by ``constrain``, so caching their hash would serve stale
+        values.  The cached digest survives :meth:`copy`, which keeps the
+        hot paths (store lookups, installer scheduling, memo keys) from
+        re-serializing the DAG over and over.
+        """
+        if self._hash is not None:
+            return self._hash[:length]
+        payload = json.dumps(self.to_node_dict(deps=True), sort_keys=True)
+        digest = hashlib.sha256(payload.encode()).hexdigest()
+        if self._concrete:
+            self._hash = digest
+        return digest[:length]
 
     def to_node_dict(self, deps: bool = False) -> Dict[str, Any]:
         d: Dict[str, Any] = {"name": self.name}
@@ -363,6 +373,7 @@ class Spec:
         new = Spec.from_node_dict(self.to_node_dict(deps=True))
         if self._concrete:
             new.mark_concrete()
+            new._hash = self._hash  # same DAG, same digest — don't recompute
         return new
 
     # -- formatting -------------------------------------------------------------
@@ -420,7 +431,15 @@ class Spec:
         return f"Spec({self.format(deps=True)!r})"
 
     def __eq__(self, other):
-        return isinstance(other, Spec) and self.to_node_dict(deps=True) == other.to_node_dict(deps=True)
+        if not isinstance(other, Spec):
+            return False
+        if self._concrete and other._concrete:
+            # sha256 of the same sorted node dict — collision-safe equality
+            # without re-serializing both DAGs
+            return self.dag_hash(64) == other.dag_hash(64)
+        return self.to_node_dict(deps=True) == other.to_node_dict(deps=True)
 
     def __hash__(self):
+        if self._concrete:
+            return hash(self.dag_hash(64))
         return hash(json.dumps(self.to_node_dict(deps=True), sort_keys=True))

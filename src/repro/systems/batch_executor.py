@@ -14,6 +14,7 @@ queueing effects are first-class results.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List
 
 from .descriptor import SystemDescriptor
@@ -38,17 +39,25 @@ class BatchExecutor:
     def __init__(self, system: SystemDescriptor, policy: str = "backfill",
                  epoch: int = 0, injector=None,
                  retry_policy=None, breakers=None,
-                 runner_tag: str = "batch"):
+                 runner_tag: str = "batch", max_workers: int = 4):
         self.system = system
         self.scheduler = BatchScheduler(system, policy=policy)
         self.inner = SystemExecutor(system, epoch=epoch)
-        if injector is not None or retry_policy is not None or breakers is not None:
+        #: a fault-tolerant inner executor carries shared mutable state
+        #: (injector RNG, circuit breakers) whose behaviour depends on call
+        #: order — those campaigns stay serial to keep runs reproducible
+        self._resilient = (
+            injector is not None or retry_policy is not None
+            or breakers is not None
+        )
+        if self._resilient:
             from repro.resilience import FaultTolerantExecutor
 
             self.inner = FaultTolerantExecutor(
                 self.inner, injector=injector, policy=retry_policy,
                 breakers=breakers, runner_tag=runner_tag,
             )
+        self.max_workers = max(int(max_workers), 1)
         self._queued: List[tuple] = []
 
     # -- duration estimation ------------------------------------------------
@@ -92,9 +101,23 @@ class BatchExecutor:
         if not self._queued:
             return []
         self.scheduler.run_until_complete()
+        # Independent experiments execute concurrently — a pure
+        # SystemExecutor derives each outcome from (experiment, epoch)
+        # alone, so fan-out cannot change any result, only the wall clock.
+        # Scheduler bookkeeping and log writes below stay serial, in
+        # submission order, so outcome ordering is deterministic either way.
+        if not self._resilient and len(self._queued) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(self.max_workers, len(self._queued))
+            ) as pool:
+                results = list(
+                    pool.map(self.inner.execute,
+                             [e for e, _ in self._queued])
+                )
+        else:
+            results = [self.inner.execute(e) for e, _ in self._queued]
         outcomes = []
-        for experiment, job in self._queued:
-            result = self.inner.execute(experiment)
+        for (experiment, job), result in zip(self._queued, results):
             # Transient faults (a fault-tolerant inner executor reports
             # attempts > 1) requeue the job: each retry re-enters the queue
             # after its backoff, so the simulated timeline and queue stats

@@ -1,0 +1,59 @@
+"""The (system, benchmark)/(system, experiment) indexes behind
+MetricsDatabase.query — indexed lookups must match a full scan exactly."""
+
+from repro.ci import MetricsDatabase
+
+
+def _populated():
+    db = MetricsDatabase()
+    for system in ("cts1", "tioga", "sierra"):
+        for benchmark in ("stream", "amg2023"):
+            for i in range(4):
+                db.record(
+                    benchmark, system, f"{benchmark}_exp{i % 2}",
+                    "total_time", 10.0 * (i + 1),
+                    manifest={"epoch": str(i)},
+                )
+    return db
+
+
+class TestIndexedQuery:
+    def test_system_benchmark_matches_full_scan(self):
+        db = _populated()
+        indexed = db.query(system="cts1", benchmark="stream")
+        scanned = [r for r in db._records
+                   if r.system == "cts1" and r.benchmark == "stream"]
+        assert indexed == scanned
+        assert len(indexed) == 4
+        # seq (insertion) order preserved
+        assert [r.seq for r in indexed] == sorted(r.seq for r in indexed)
+
+    def test_experiment_query(self):
+        db = _populated()
+        recs = db.query(system="tioga", experiment="amg2023_exp1")
+        assert recs
+        assert all(r.system == "tioga" and r.experiment == "amg2023_exp1"
+                   for r in recs)
+        scanned = [r for r in db._records
+                   if r.system == "tioga" and r.experiment == "amg2023_exp1"]
+        assert recs == scanned
+
+    def test_filters_compose_with_index(self):
+        db = _populated()
+        recs = db.query(system="cts1", benchmark="stream", fom_name="total_time",
+                        predicate=lambda r: float(r.value) > 15.0)
+        assert all(float(r.value) > 15.0 for r in recs)
+        assert len(recs) == 3
+
+    def test_unindexed_paths_still_work(self):
+        db = _populated()
+        assert len(db.query(benchmark="stream")) == 12
+        assert len(db.query()) == 24
+        assert db.query(system="absent", benchmark="stream") == []
+
+    def test_from_records_rebuilds_indexes(self):
+        db = _populated()
+        rebuilt = MetricsDatabase.from_records(db.to_records())
+        assert (len(rebuilt.query(system="cts1", benchmark="amg2023"))
+                == len(db.query(system="cts1", benchmark="amg2023")))
+        assert rebuilt._by_system_benchmark.keys() == db._by_system_benchmark.keys()

@@ -1,0 +1,114 @@
+"""CI job result reuse: content-fingerprinted jobs skip re-execution."""
+
+from repro.ci.pipeline import build_pipeline, job_fingerprint, run_pipeline
+from repro.perf import ContentStore
+
+CI_TEXT = """
+stages: [build, bench]
+build-app:
+  stage: build
+  script: ["spack install app"]
+bench-app:
+  stage: bench
+  needs: [build-app]
+  script: ["ramble on"]
+"""
+
+
+def _exec_ok(calls):
+    def execute(job):
+        calls.append(job.name)
+        return True, f"ran {job.name}"
+    return execute
+
+
+class TestJobFingerprint:
+    def test_same_content_same_fingerprint(self):
+        j1 = build_pipeline("main", "aaa111", CI_TEXT).jobs[0]
+        j2 = build_pipeline("main", "bbb222", CI_TEXT).jobs[0]
+        # the commit sha is not part of the key — unchanged jobs reuse
+        assert job_fingerprint(j1) == job_fingerprint(j2)
+
+    def test_script_change_changes_fingerprint(self):
+        j1 = build_pipeline("main", "aaa", CI_TEXT).jobs[0]
+        j2 = build_pipeline("main", "aaa",
+                            CI_TEXT.replace("spack install app",
+                                            "spack install app+cuda")).jobs[0]
+        assert job_fingerprint(j1) != job_fingerprint(j2)
+
+
+class TestPipelineJobCache:
+    def test_second_pipeline_serves_from_cache(self):
+        cache = ContentStore("ci-jobs")
+        calls = []
+        first = run_pipeline(build_pipeline("main", "sha1", CI_TEXT),
+                             _exec_ok(calls), job_cache=cache)
+        assert first.succeeded
+        assert calls == ["build-app", "bench-app"]
+
+        second = run_pipeline(build_pipeline("main", "sha2", CI_TEXT),
+                              _exec_ok(calls), job_cache=cache)
+        assert second.succeeded
+        assert calls == ["build-app", "bench-app"]  # nothing re-executed
+        for job in second.jobs:
+            assert job.status == "cached"
+            assert job.attempts == 0
+            assert "# cached: identical job succeeded in pipeline" in job.log
+            assert "@ sha1" in job.log  # provenance names the producing run
+
+    def test_cached_needs_satisfy_dependents(self):
+        """A dependent whose needed job was served from cache still runs."""
+        cache = ContentStore("ci-jobs")
+        run_pipeline(build_pipeline("main", "s1", CI_TEXT),
+                     _exec_ok([]), job_cache=cache)
+        changed = CI_TEXT.replace("ramble on", "ramble on --rerun")
+        calls = []
+        result = run_pipeline(build_pipeline("main", "s2", changed),
+                              _exec_ok(calls), job_cache=cache)
+        assert result.succeeded
+        by_name = {j.name: j for j in result.jobs}
+        assert by_name["build-app"].status == "cached"
+        assert by_name["bench-app"].status == "success"
+        assert calls == ["bench-app"]  # only the changed job re-ran
+
+    def test_failed_jobs_not_cached(self):
+        cache = ContentStore("ci-jobs")
+        run_pipeline(build_pipeline("main", "s1", CI_TEXT),
+                     lambda job: (False, "boom"), job_cache=cache)
+        assert len(cache) == 0
+        calls = []
+        second = run_pipeline(build_pipeline("main", "s2", CI_TEXT),
+                              _exec_ok(calls), job_cache=cache)
+        assert second.succeeded
+        assert calls == ["build-app", "bench-app"]  # re-executed, then cached
+
+    def test_flaky_success_not_cached(self):
+        """A job that only passed after a retry is not a deterministic
+        pass — it must re-execute next pipeline."""
+        flaky_text = CI_TEXT.replace(
+            "build-app:\n  stage: build",
+            "build-app:\n  stage: build\n  retry: 1",
+        )
+        cache = ContentStore("ci-jobs")
+        outcomes = {"build-app": [False, True], "bench-app": [True]}
+
+        def flaky_exec(job):
+            ok = outcomes[job.name].pop(0)
+            return ok, f"{job.name}: {'ok' if ok else 'fail'}"
+
+        first = run_pipeline(build_pipeline("main", "s1", flaky_text),
+                             flaky_exec, job_cache=cache)
+        assert first.succeeded
+        by_name = {j.name: j for j in first.jobs}
+        assert by_name["build-app"].attempts == 2  # needed a retry
+        # the clean bench job is cached; the flaky build job is not
+        keys = {job_fingerprint(j) for j in first.jobs}
+        cached = [k for k in keys if cache.peek(k) is not None]
+        assert len(cached) == 1
+        assert cache.peek(job_fingerprint(by_name["build-app"])) is None
+
+    def test_no_cache_means_no_behaviour_change(self):
+        calls = []
+        run_pipeline(build_pipeline("main", "s1", CI_TEXT), _exec_ok(calls))
+        run_pipeline(build_pipeline("main", "s2", CI_TEXT), _exec_ok(calls))
+        assert calls == ["build-app", "bench-app"] * 2
