@@ -102,6 +102,7 @@ def bench_warm_campaign(epochs: int) -> dict:
         "regressions_identical": True,
         "profiler_warm": warm.profiler.to_dict(),
         "_baseline_obj_records": len(baseline.db),
+        "_profilers": (cold.profiler, warm.profiler),
     }
 
 
@@ -159,6 +160,7 @@ def main(argv=None) -> int:
 
     campaign = bench_warm_campaign(epochs)
     campaign.pop("_baseline_obj_records", None)
+    cold_profiler, warm_profiler = campaign.pop("_profilers")
     install = bench_parallel_install()
     memo = bench_concretize_memo()
 
@@ -169,6 +171,12 @@ def main(argv=None) -> int:
         "concretize_memo": memo,
     }
     print(json.dumps(results, indent=2))
+
+    # Per-stage breakdown to the job log: where the warm epochs save time.
+    print("\n# cold campaign stage breakdown", file=sys.stderr)
+    print(cold_profiler.report(), file=sys.stderr)
+    print("\n# warm campaign stage breakdown", file=sys.stderr)
+    print(warm_profiler.report(), file=sys.stderr)
 
     out = args.out
     if out is None and not args.quick:

@@ -5,20 +5,36 @@ from . import adiak
 from .caliper import CaliperSession, Profile, RegionNode, annotate, global_session, region
 from .diagnosis import FOM_SUBSYSTEMS, FailureHypothesis, diagnose
 from .dashboard import ascii_plot, render_grid, render_report, render_series
+from .engine import (
+    AnalysisEngine,
+    FrameView,
+    MetricsFrame,
+    OnlineStats,
+    SeriesState,
+)
 from .extrap import (
     DEFAULT_EXPONENTS,
     Measurement,
     MultiTermModel,
     PerformanceModel,
+    clear_model_cache,
     fit_model,
     fit_multi_term_model,
+    model_cache,
 )
 from .regression import RegressionDetector, RegressionEvent
 from .scaling import ScalingPoint, classify_scaling, strong_scaling, weak_scaling
 from .thicket import Ensemble, ThicketError
 
 __all__ = [
+    "AnalysisEngine",
     "CaliperSession",
+    "FrameView",
+    "MetricsFrame",
+    "OnlineStats",
+    "SeriesState",
+    "clear_model_cache",
+    "model_cache",
     "DEFAULT_EXPONENTS",
     "Ensemble",
     "FOM_SUBSYSTEMS",

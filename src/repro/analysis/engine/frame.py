@@ -1,0 +1,415 @@
+"""Columnar (struct-of-arrays) storage for metrics history.
+
+The analysis layer must keep up with an ever-growing FOM history (exaCB's
+argument: incrementality has to extend through *result analysis*;  SCOPE's:
+aggregation layout dominates at scale).  :class:`MetricsFrame` re-hosts a
+row-oriented :class:`~repro.ci.metricsdb.MetricsDatabase` as numpy columns:
+
+* string dimensions (benchmark / system / experiment / fom) are interned to
+  ``int32`` codes through a :class:`StringPool`;
+* values and any numeric manifest key (epoch, nprocs, …) become ``float64``
+  columns with a parallel validity mask, so filters and aggregations are
+  single vectorized passes instead of per-record ``float()`` attempts;
+* filter / groupby return :class:`FrameView` objects — index arrays over the
+  parent's columns, no column data is copied;
+* the frame tracks the database's ``generation`` counter: :meth:`refresh`
+  absorbs appended records in O(new) and reports exactly which
+  ``(system, benchmark)`` partitions were touched, so downstream per-series
+  caches (incremental detectors, memoized model fits) invalidate only what
+  actually changed.
+
+Semantics are pinned to the row-oriented paths bit-for-bit: ``series`` /
+``aggregate`` / ``epoch_series`` reproduce ``MetricsDatabase.series`` /
+``.aggregate`` and the detector's per-epoch grouping exactly (same value
+ordering, same ``np.mean`` reductions), which is what lets the incremental
+analysis stack assert equality with batch recomputation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["StringPool", "MetricsFrame", "FrameView"]
+
+#: attribute dimensions interned to integer codes
+_DIMENSIONS = ("benchmark", "system", "experiment", "fom_name")
+
+
+class StringPool:
+    """Bidirectional string ↔ int32 code interning."""
+
+    __slots__ = ("_codes", "names")
+
+    def __init__(self):
+        self._codes: Dict[str, int] = {}
+        self.names: List[str] = []
+
+    def code(self, name: str) -> int:
+        """Intern ``name``, assigning the next code on first sight."""
+        code = self._codes.get(name)
+        if code is None:
+            code = len(self.names)
+            self._codes[name] = code
+            self.names.append(name)
+        return code
+
+    def lookup(self, name: str) -> Optional[int]:
+        """Code for ``name`` or None if never interned (no side effects)."""
+        return self._codes.get(name)
+
+    def name(self, code: int) -> str:
+        return self.names[code]
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+
+class _Column:
+    """A growable numpy column: amortized O(1) append, zero-copy read view."""
+
+    __slots__ = ("_buf", "_n")
+
+    def __init__(self, dtype, capacity: int = 64):
+        self._buf = np.empty(capacity, dtype=dtype)
+        self._n = 0
+
+    def extend(self, values) -> None:
+        values = np.asarray(values, dtype=self._buf.dtype)
+        need = self._n + values.size
+        if need > self._buf.size:
+            grown = np.empty(max(need, 2 * self._buf.size), dtype=self._buf.dtype)
+            grown[: self._n] = self._buf[: self._n]
+            self._buf = grown
+        self._buf[self._n:need] = values
+        self._n = need
+
+    @property
+    def view(self) -> np.ndarray:
+        """Zero-copy view of the live prefix."""
+        return self._buf[: self._n]
+
+    def __len__(self) -> int:
+        return self._n
+
+
+def _to_float(value: Any) -> Tuple[float, bool]:
+    """(float(value), ok) — ok False where the row-oriented paths would have
+    skipped the record (TypeError/ValueError on conversion)."""
+    try:
+        return float(value), True
+    except (TypeError, ValueError):
+        return 0.0, False
+
+
+class MetricsFrame:
+    """Struct-of-arrays mirror of a :class:`MetricsDatabase`.
+
+    Built once, then kept consistent with the (append-only) database via
+    :meth:`refresh`; every query below is a vectorized pass over column
+    views, never a per-record python loop over history.
+    """
+
+    def __init__(self, db):
+        self.db = db
+        self.pools: Dict[str, StringPool] = {d: StringPool() for d in _DIMENSIONS}
+        self._cols: Dict[str, _Column] = {
+            "seq": _Column(np.int64),
+            "benchmark": _Column(np.int32),
+            "system": _Column(np.int32),
+            "experiment": _Column(np.int32),
+            "fom_name": _Column(np.int32),
+            "value": _Column(np.float64),
+            "value_ok": _Column(np.bool_),
+            "flaky": _Column(np.bool_),
+        }
+        #: non-columnar payloads kept by reference (dashboard needs units;
+        #: manifest dicts back lazily-materialized numeric columns)
+        self.units: List[str] = []
+        self.manifests: List[Dict[str, Any]] = []
+        #: manifest key -> (values column, validity column)
+        self._manifest_cols: Dict[str, Tuple[_Column, _Column]] = {}
+        #: (system_code, benchmark_code) -> row-id column (insertion order)
+        self._partitions: Dict[Tuple[int, int], _Column] = {}
+        #: per-partition append counter — consumers cache per-partition
+        #: derivations keyed on this and re-derive only touched partitions
+        self.partition_generation: Dict[Tuple[int, int], int] = {}
+        self._synced_rows = 0
+        self._synced_generation = -1
+        self._lock = threading.RLock()
+        self.refresh()
+
+    # -- ingestion ---------------------------------------------------------
+    def refresh(self) -> Tuple[Tuple[int, int], ...]:
+        """Absorb records appended to the database since the last sync.
+
+        Returns the ``(system_code, benchmark_code)`` partitions that gained
+        rows — everything else is guaranteed untouched, which is the
+        invalidation contract incremental consumers build on.
+        """
+        with self._lock:
+            if self.db.generation == self._synced_generation:
+                return ()
+            records = self.db._records
+            start = self._synced_rows
+            if len(records) < start:
+                raise ValueError(
+                    "MetricsDatabase shrank underneath its MetricsFrame; "
+                    "the database contract is append-only"
+                )
+            new = records[start:]
+            touched: Dict[Tuple[int, int], List[int]] = {}
+            cols = {name: [] for name in self._cols}
+            for offset, rec in enumerate(new):
+                row = start + offset
+                b = self.pools["benchmark"].code(rec.benchmark)
+                s = self.pools["system"].code(rec.system)
+                value, ok = _to_float(rec.value)
+                cols["seq"].append(rec.seq)
+                cols["benchmark"].append(b)
+                cols["system"].append(s)
+                cols["experiment"].append(
+                    self.pools["experiment"].code(rec.experiment))
+                cols["fom_name"].append(self.pools["fom_name"].code(rec.fom_name))
+                cols["value"].append(value)
+                cols["value_ok"].append(ok)
+                cols["flaky"].append(self.db.is_flaky(rec))
+                self.units.append(rec.units)
+                self.manifests.append(rec.manifest)
+                touched.setdefault((s, b), []).append(row)
+            for name, data in cols.items():
+                self._cols[name].extend(data)
+            for key, key_rows in touched.items():
+                part = self._partitions.get(key)
+                if part is None:
+                    part = self._partitions[key] = _Column(np.int64)
+                part.extend(key_rows)
+                self.partition_generation[key] = (
+                    self.partition_generation.get(key, 0) + 1)
+            # backfill every already-materialized manifest column
+            for key, (vals, oks) in self._manifest_cols.items():
+                self._extend_manifest(key, vals, oks, new)
+            self._synced_rows = len(records)
+            self._synced_generation = self.db.generation
+            return tuple(touched)
+
+    def _extend_manifest(self, key: str, vals: _Column, oks: _Column,
+                         records) -> None:
+        new_vals, new_oks = [], []
+        for rec in records:
+            if key in rec.manifest:
+                value, ok = _to_float(rec.manifest[key])
+            else:
+                value, ok = 0.0, False
+            new_vals.append(value)
+            new_oks.append(ok)
+        vals.extend(new_vals)
+        oks.extend(new_oks)
+
+    # -- column access -----------------------------------------------------
+    def column(self, name: str) -> np.ndarray:
+        return self._cols[name].view
+
+    def manifest_column(self, key: str) -> Tuple[np.ndarray, np.ndarray]:
+        """(values, valid) float64/bool columns for one manifest key,
+        materialized on first use and extended on every refresh."""
+        with self._lock:
+            pair = self._manifest_cols.get(key)
+            if pair is None:
+                pair = (_Column(np.float64), _Column(np.bool_))
+                self._extend_manifest(key, *pair,
+                                      self.db._records[: self._synced_rows])
+                self._manifest_cols[key] = pair
+            return pair[0].view, pair[1].view
+
+    def partition_rows(self, system: str, benchmark: str) -> np.ndarray:
+        """Row ids of one (system, benchmark) partition, insertion order."""
+        s = self.pools["system"].lookup(system)
+        b = self.pools["benchmark"].lookup(benchmark)
+        if s is None or b is None:
+            return np.empty(0, dtype=np.int64)
+        part = self._partitions.get((s, b))
+        return part.view if part is not None else np.empty(0, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self._synced_rows
+
+    # -- vectorized queries ------------------------------------------------
+    def view(self) -> "FrameView":
+        return FrameView(self, np.arange(self._synced_rows, dtype=np.int64))
+
+    def filter(self, benchmark: Optional[str] = None,
+               system: Optional[str] = None,
+               experiment: Optional[str] = None,
+               fom_name: Optional[str] = None,
+               exclude_flaky: bool = False) -> "FrameView":
+        return self.view().filter(
+            benchmark=benchmark, system=system, experiment=experiment,
+            fom_name=fom_name, exclude_flaky=exclude_flaky)
+
+    def series_rows(self, benchmark: str, system: str, fom_name: str,
+                    x_key: str, exclude_flaky: bool = False,
+                    start: int = 0) -> np.ndarray:
+        """Row ids (insertion order) of the usable samples of one series,
+        optionally only those past the first ``start`` rows of the
+        partition — the incremental hook: consumers that remembered how many
+        partition rows they saw get exactly the new samples."""
+        rows = self.partition_rows(system, benchmark)[start:]
+        if rows.size == 0:
+            return rows
+        f = self.pools["fom_name"].lookup(fom_name)
+        if f is None:
+            return np.empty(0, dtype=np.int64)
+        xvals, xok = self.manifest_column(x_key)
+        mask = (self.column("fom_name")[rows] == f)
+        mask &= self.column("value_ok")[rows]
+        mask &= xok[rows]
+        if exclude_flaky:
+            mask &= ~self.column("flaky")[rows]
+        return rows[mask]
+
+    def series(self, benchmark: str, system: str, fom_name: str,
+               x_key: str, exclude_flaky: bool = False
+               ) -> Tuple[np.ndarray, np.ndarray]:
+        """(x, y) arrays sorted by (x, y) — bit-compatible with
+        ``MetricsDatabase.series`` (which returns ``sorted(pairs)``)."""
+        rows = self.series_rows(benchmark, system, fom_name, x_key,
+                                exclude_flaky=exclude_flaky)
+        xvals, _ = self.manifest_column(x_key)
+        x = xvals[rows]
+        y = self.column("value")[rows]
+        order = np.lexsort((y, x))
+        return x[order], y[order]
+
+    def epoch_series(self, benchmark: str, system: str, fom_name: str,
+                     epoch_key: str = "epoch", exclude_flaky: bool = True
+                     ) -> List[Tuple[float, float]]:
+        """Per-epoch mean series, matching the detector's row-oriented
+        grouping (values averaged in (x, y)-sorted order) exactly."""
+        x, y = self.series(benchmark, system, fom_name, epoch_key,
+                           exclude_flaky=exclude_flaky)
+        if x.size == 0:
+            return []
+        bounds = np.flatnonzero(np.diff(x)) + 1
+        starts = np.concatenate(([0], bounds))
+        stops = np.concatenate((bounds, [x.size]))
+        return [(float(x[a]), float(np.mean(y[a:b])))
+                for a, b in zip(starts, stops)]
+
+    def aggregate(self, fom_name: str, group_by: str = "system",
+                  exclude_flaky: bool = True) -> Dict[str, Dict[str, float]]:
+        """Vectorized twin of ``MetricsDatabase.aggregate``."""
+        f = self.pools["fom_name"].lookup(fom_name)
+        if f is None:
+            return {}
+        mask = (self.column("fom_name") == f) & self.column("value_ok")
+        if exclude_flaky:
+            mask &= ~self.column("flaky")
+        rows = np.flatnonzero(mask)
+        if rows.size == 0:
+            return {}
+        values = self.column("value")[rows]
+        if group_by in ("benchmark", "system", "experiment", "fom_name"):
+            codes = self.column(group_by)[rows]
+            pool = self.pools[group_by]
+            labels = {c: pool.name(c) for c in np.unique(codes)}
+        else:
+            # rare path: group by an arbitrary manifest key
+            raw = [str(self.manifests[r].get(group_by)) for r in rows]
+            uniq = {name: i for i, name in enumerate(dict.fromkeys(raw))}
+            codes = np.array([uniq[name] for name in raw], dtype=np.int64)
+            labels = {i: name for name, i in uniq.items()}
+        out: Dict[str, Dict[str, float]] = {}
+        for code, label in labels.items():
+            group = values[codes == code]
+            out[label] = {
+                "mean": float(np.mean(group)),
+                "min": float(np.min(group)),
+                "max": float(np.max(group)),
+                "count": int(group.size),
+            }
+        return dict(sorted(out.items()))
+
+    def benchmark_usage(self) -> Dict[str, int]:
+        codes = self.column("benchmark")
+        if codes.size == 0:
+            return {}
+        counts = np.bincount(codes, minlength=len(self.pools["benchmark"]))
+        order = np.argsort(-counts, kind="stable")
+        return {self.pools["benchmark"].name(int(c)): int(counts[c])
+                for c in order if counts[c]}
+
+
+class FrameView:
+    """A zero-copy selection of frame rows: an index array over the parent's
+    columns.  Filters compose by shrinking the index array; the underlying
+    column buffers are never copied."""
+
+    __slots__ = ("frame", "rows")
+
+    def __init__(self, frame: MetricsFrame, rows: np.ndarray):
+        self.frame = frame
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return int(self.rows.size)
+
+    # -- materialized columns (copies happen here, on demand) --------------
+    def values(self) -> np.ndarray:
+        return self.frame.column("value")[self.rows]
+
+    def column(self, name: str) -> np.ndarray:
+        return self.frame.column(name)[self.rows]
+
+    def labels(self, dimension: str) -> List[str]:
+        pool = self.frame.pools[dimension]
+        return [pool.name(int(c)) for c in self.column(dimension)]
+
+    # -- composition -------------------------------------------------------
+    def filter(self, benchmark: Optional[str] = None,
+               system: Optional[str] = None,
+               experiment: Optional[str] = None,
+               fom_name: Optional[str] = None,
+               exclude_flaky: bool = False,
+               predicate: Optional[Callable[[np.ndarray], np.ndarray]] = None
+               ) -> "FrameView":
+        """Narrow the view; unknown labels produce an empty view.
+
+        ``predicate`` receives this view's value array and returns a boolean
+        mask — the vectorized analogue of the record-level predicate.
+        """
+        mask = np.ones(self.rows.size, dtype=bool)
+        for dim, wanted in (("benchmark", benchmark), ("system", system),
+                            ("experiment", experiment), ("fom_name", fom_name)):
+            if wanted is None:
+                continue
+            code = self.frame.pools[dim].lookup(wanted)
+            if code is None:
+                return FrameView(self.frame, np.empty(0, dtype=np.int64))
+            mask &= self.column(dim) == code
+        if exclude_flaky:
+            mask &= ~self.column("flaky")
+        if predicate is not None:
+            mask &= np.asarray(predicate(self.values()), dtype=bool)
+        return FrameView(self.frame, self.rows[mask])
+
+    def groupby(self, dimension: str) -> Dict[str, "FrameView"]:
+        codes = self.column(dimension)
+        pool = self.frame.pools[dimension]
+        return {
+            pool.name(int(c)): FrameView(self.frame, self.rows[codes == c])
+            for c in sorted(np.unique(codes))
+        }
+
+    def to_pairs(self, x_key: str) -> List[Tuple[float, float]]:
+        """(manifest[x_key], value) pairs — view-level twin of
+        ``MetricsDatabase.series`` (sorted, invalid rows skipped)."""
+        xvals, xok = self.frame.manifest_column(x_key)
+        keep = self.column("value_ok") & xok[self.rows]
+        rows = self.rows[keep]
+        x = xvals[rows]
+        y = self.frame.column("value")[rows]
+        order = np.lexsort((y, x))
+        return list(zip(x[order].tolist(), y[order].tolist()))

@@ -18,13 +18,16 @@ model-selection strategy of Calotoiu et al.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.perf import ContentStore, fingerprint
+
 __all__ = ["Measurement", "MultiTermModel", "PerformanceModel",
-           "DEFAULT_EXPONENTS", "fit_model", "fit_multi_term_model"]
+           "DEFAULT_EXPONENTS", "fit_model", "fit_multi_term_model",
+           "model_cache", "clear_model_cache"]
 
 #: Extra-P's default search space.
 DEFAULT_EXPONENTS: Tuple[Tuple[float, int], ...] = tuple(
@@ -100,11 +103,23 @@ def _smape(actual: np.ndarray, predicted: np.ndarray) -> float:
     )
 
 
-def _fit_pair(ps: np.ndarray, ys: np.ndarray, i: float, j: int
-              ) -> Optional[Tuple[float, float]]:
-    term = np.power(ps, i)
-    if j:
-        term = term * np.power(np.log2(np.maximum(ps, 1.0)), j)
+def _term_matrix(ps: np.ndarray,
+                 exponents: Sequence[Tuple[float, int]]) -> np.ndarray:
+    """All candidate term columns ``p^i · log2(p)^j`` in one vectorized
+    pass — one (n_points, n_hypotheses) matrix that every hypothesis slices
+    a column out of, instead of rebuilding its column per fit.  Elementwise
+    the operations match the old per-candidate construction exactly
+    (``log^0 == 1.0`` multiplies out bit-identically), so fitted models are
+    unchanged."""
+    i_arr = np.array([i for i, _ in exponents], dtype=float)
+    j_arr = np.array([j for _, j in exponents], dtype=float)
+    cols = np.power(ps[:, None], i_arr[None, :])
+    logs = np.log2(np.maximum(ps, 1.0))
+    return cols * np.power(logs[:, None], j_arr[None, :])
+
+
+def _fit_column(ps: np.ndarray, ys: np.ndarray, term: np.ndarray
+                ) -> Optional[Tuple[float, float]]:
     design = np.column_stack([np.ones_like(ps), term])
     try:
         coeffs, *_ = np.linalg.lstsq(design, ys, rcond=None)
@@ -116,16 +131,73 @@ def _fit_pair(ps: np.ndarray, ys: np.ndarray, i: float, j: int
     return c0, c1
 
 
+#: memo of fitted models keyed by measurement fingerprint — continuous
+#: analysis refits the same series many times (dashboard render, diagnosis
+#: pass, CI summary) and between epochs that didn't extend the series
+_MODEL_CACHE = ContentStore("extrap-models")
+
+
+def model_cache() -> ContentStore:
+    """The process-global fit memo (hit/miss accounting for benches)."""
+    return _MODEL_CACHE
+
+
+def clear_model_cache() -> None:
+    _MODEL_CACHE.clear()
+
+
+def _cache_key(kind: str, measurements, exponents, extra=0) -> str:
+    return fingerprint([
+        kind,
+        [[m.p, m.value] for m in measurements],
+        [[i, j] for i, j in exponents],
+        extra,
+    ])
+
+
+def _as_measurements(
+    measurements: Sequence[Measurement] | Sequence[Tuple[float, float]],
+) -> List[Measurement]:
+    return [
+        m if isinstance(m, Measurement) else Measurement(float(m[0]), float(m[1]))
+        for m in measurements
+    ]
+
+
+def _copy_single(model: PerformanceModel) -> PerformanceModel:
+    """Defensive copy so callers mutating a returned model (tests do) never
+    poison the cache entry."""
+    return replace(model, measurements=list(model.measurements))
+
+
+def _copy_multi(model: "MultiTermModel") -> "MultiTermModel":
+    return replace(model, terms=list(model.terms),
+                   measurements=list(model.measurements))
+
+
 def fit_model(
     measurements: Sequence[Measurement] | Sequence[Tuple[float, float]],
     exponents: Sequence[Tuple[float, int]] = DEFAULT_EXPONENTS,
 ) -> PerformanceModel:
     """Fit the best single-term PMNF model to the measurements.
 
-    Requires at least 3 distinct process counts (Extra-P itself wants 5 for
-    trustworthy models and warns below that; we enforce the hard minimum).
+    Wants at least 3 distinct process counts (Extra-P itself wants 5 for
+    trustworthy models); degenerate inputs — a single point, or repeated
+    measurements of one process count — yield the constant model rather
+    than an error, so continuous pipelines fitting whatever history exists
+    never fall over on a short series.
+
+    Fits are memoized by measurement fingerprint (pure function of the
+    inputs), so re-fitting an unchanged series is a cache lookup.
     """
-    return _fit(measurements, exponents)
+    ms = _as_measurements(measurements)
+    key = _cache_key("single", ms, exponents)
+    cached = _MODEL_CACHE.get(key)
+    if cached is not None:
+        return _copy_single(cached)
+    model = _fit(ms, exponents)
+    _MODEL_CACHE.put(key, model)
+    return _copy_single(model)
 
 
 def fit_multi_term_model(
@@ -137,9 +209,24 @@ def fit_multi_term_model(
     n > 1 case): exhaustive joint least squares over exponent pairs, with an
     occam rule — the two-term hypothesis wins only when it improves SMAPE by
     a clear margin, which is how Extra-P avoids overfitting small
-    measurement sets."""
+    measurement sets.  Memoized like :func:`fit_model`."""
     if max_terms < 1:
         raise ValueError(f"max_terms must be >= 1, got {max_terms}")
+    ms = _as_measurements(measurements)
+    key = _cache_key("multi", ms, exponents, max_terms)
+    cached = _MODEL_CACHE.get(key)
+    if cached is not None:
+        return _copy_multi(cached)
+    model = _fit_multi(ms, max_terms, exponents)
+    _MODEL_CACHE.put(key, model)
+    return _copy_multi(model)
+
+
+def _fit_multi(
+    measurements: List[Measurement],
+    max_terms: int,
+    exponents: Sequence[Tuple[float, int]],
+) -> "MultiTermModel":
     base = _fit(measurements, exponents)
     terms = [(base.c1, base.i, base.j)] if not base.is_constant else []
     best = MultiTermModel(c0=base.c0, terms=terms,
@@ -154,20 +241,14 @@ def fit_multi_term_model(
         return best
     ss_tot = float(np.sum((ys - np.mean(ys)) ** 2))
 
-    def term_column(i: float, j: int) -> np.ndarray:
-        col = np.power(ps, i)
-        if j:
-            col = col * np.power(np.log2(np.maximum(ps, 1.0)), j)
-        return col
-
     exps = list(exponents)
+    T = _term_matrix(ps, exps)
+    ones = np.ones_like(ps)
     for a in range(len(exps)):
         for b in range(a + 1, len(exps)):
             ia, ja = exps[a]
             ib, jb = exps[b]
-            design = np.column_stack(
-                [np.ones_like(ps), term_column(ia, ja), term_column(ib, jb)]
-            )
+            design = np.column_stack([ones, T[:, a], T[:, b]])
             try:
                 coeffs, *_ = np.linalg.lstsq(design, ys, rcond=None)
             except np.linalg.LinAlgError:
@@ -226,10 +307,9 @@ def _fit(
     measurements: Sequence[Measurement] | Sequence[Tuple[float, float]],
     exponents: Sequence[Tuple[float, int]] = DEFAULT_EXPONENTS,
 ) -> PerformanceModel:
-    ms = [
-        m if isinstance(m, Measurement) else Measurement(float(m[0]), float(m[1]))
-        for m in measurements
-    ]
+    ms = _as_measurements(measurements)
+    if not ms:
+        raise ValueError("need at least one measurement")
     if any(m.p <= 0 for m in ms):
         raise ValueError("process counts must be positive")
     # Average repeated measurements per p (Extra-P's mean aggregation).
@@ -238,24 +318,27 @@ def _fit(
         by_p.setdefault(m.p, []).append(m.value)
     ps = np.array(sorted(by_p), dtype=float)
     ys = np.array([np.mean(by_p[p]) for p in ps])
-    if len(ps) < 3:
-        raise ValueError(
-            f"need measurements at >= 3 distinct process counts, got {len(ps)}"
-        )
 
     mean_y = float(np.mean(ys))
     ss_tot = float(np.sum((ys - mean_y) ** 2))
 
-    # Constant-model baseline.
+    # Constant-model baseline.  Degenerate series — a single measurement
+    # point, or repeats of one process count collapsing to one (the design
+    # matrix would be rank-deficient) — resolve to it directly rather than
+    # raising: the constant is the only defensible model of such data.
     best = PerformanceModel(
         c0=mean_y, c1=0.0, i=0.0, j=0,
         smape=_smape(ys, np.full_like(ys, mean_y)),
         r_squared=0.0,
         measurements=[Measurement(float(p), float(v)) for p, v in zip(ps, ys)],
     )
+    if len(ps) < 3:
+        return best
 
-    for i, j in exponents:
-        fitted = _fit_pair(ps, ys, i, j)
+    exps = list(exponents)
+    T = _term_matrix(ps, exps)
+    for k, (i, j) in enumerate(exps):
+        fitted = _fit_column(ps, ys, T[:, k])
         if fitted is None:
             continue
         c0, c1 = fitted

@@ -60,11 +60,24 @@ class Ensemble:
         return sorted(names)
 
     def metric(self, region: str, metric: str = "inclusive") -> np.ndarray:
-        """One value per profile for a region metric; NaN where absent."""
+        """One value per profile for a region metric; NaN where the region
+        is absent from that profile.  A region absent from *every* profile
+        is an error naming the regions that do exist — a silent all-NaN
+        vector just defers the confusion to whatever consumes it."""
         out = []
+        found = False
         for p in self.profiles:
             node = p.regions().get(region)
-            out.append(getattr(node, metric) if node is not None else np.nan)
+            if node is None:
+                out.append(np.nan)
+            else:
+                found = True
+                out.append(getattr(node, metric))
+        if not found:
+            raise ThicketError(
+                f"region {region!r} absent from all profiles; "
+                f"available regions: {', '.join(self.region_names())}"
+            )
         return np.array(out, dtype=float)
 
     # -- filter / groupby -------------------------------------------------------
@@ -96,8 +109,40 @@ class Ensemble:
             "count": int(values.size),
         }
 
+    def _metric_matrix(self, metric: str = "inclusive"
+                       ) -> tuple:
+        """(regions, regions × profiles float matrix) built in a single
+        pass over the profiles; NaN marks region-absent-from-profile."""
+        regions = self.region_names()
+        row_of = {r: k for k, r in enumerate(regions)}
+        matrix = np.full((len(regions), len(self.profiles)), np.nan)
+        for col, p in enumerate(self.profiles):
+            for path, node in p.regions().items():
+                matrix[row_of[path], col] = getattr(node, metric)
+        return regions, matrix
+
     def stats_frame(self, metric: str = "inclusive") -> Dict[str, Dict[str, float]]:
-        return {r: self.stats(r, metric) for r in self.region_names()}
+        """Per-region statistics across the ensemble, computed as single
+        numpy passes over the region × profile matrix instead of one
+        metric() scan per region."""
+        regions, matrix = self._metric_matrix(metric)
+        if not regions:
+            return {}
+        counts = np.sum(~np.isnan(matrix), axis=1)
+        means = np.nanmean(matrix, axis=1)
+        stds = np.nanstd(matrix, axis=1)
+        mins = np.nanmin(matrix, axis=1)
+        maxs = np.nanmax(matrix, axis=1)
+        return {
+            r: {
+                "mean": float(means[k]),
+                "std": float(stds[k]),
+                "min": float(mins[k]),
+                "max": float(maxs[k]),
+                "count": int(counts[k]),
+            }
+            for k, r in enumerate(regions)
+        }
 
     # -- Extra-P bridge ------------------------------------------------------------
     def model_scaling(
@@ -107,20 +152,25 @@ class Ensemble:
         metric: str = "inclusive",
     ) -> PerformanceModel:
         """Fit an Extra-P model of ``region``'s metric versus a numeric
-        metadata column (e.g. nprocs) — the Figure 14 pipeline."""
-        measurements: List[Measurement] = []
+        metadata column (e.g. nprocs) — the Figure 14 pipeline.  The fit is
+        memoized by measurement fingerprint (see :mod:`repro.analysis.extrap`),
+        so re-modeling an unchanged ensemble is a cache lookup."""
+        xs: List[float] = []
+        ys: List[float] = []
         for p in self.profiles:
             if scale_key not in p.metadata:
                 raise ThicketError(f"profile missing metadata key {scale_key!r}")
             node = p.regions().get(region)
             if node is None:
                 continue
-            measurements.append(
-                Measurement(float(p.metadata[scale_key]), float(getattr(node, metric)))
+            xs.append(float(p.metadata[scale_key]))
+            ys.append(float(getattr(node, metric)))
+        if not xs:
+            raise ThicketError(
+                f"region {region!r} absent from all profiles; "
+                f"available regions: {', '.join(self.region_names())}"
             )
-        if not measurements:
-            raise ThicketError(f"region {region!r} absent from all profiles")
-        return fit_model(measurements)
+        return fit_model([Measurement(x, y) for x, y in zip(xs, ys)])
 
     # -- display ------------------------------------------------------------
     def tree(self, metric: str = "inclusive") -> str:

@@ -57,12 +57,22 @@ class MetricsDatabase:
         # full-scan results exactly.
         self._by_system_benchmark: Dict[Tuple[str, str], List[MetricRecord]] = {}
         self._by_system_experiment: Dict[Tuple[str, str], List[MetricRecord]] = {}
+        #: bumped once per appended record; the columnar MetricsFrame uses it
+        #: to detect (and incrementally absorb) appends without re-scanning.
+        self.generation = 0
 
     # -- ingestion -------------------------------------------------------
+    def _insert(self, rec: MetricRecord) -> MetricRecord:
+        self._records.append(rec)
+        self._by_system_benchmark.setdefault((rec.system, rec.benchmark), []).append(rec)
+        self._by_system_experiment.setdefault((rec.system, rec.experiment), []).append(rec)
+        self.generation += 1
+        return rec
+
     def record(self, benchmark: str, system: str, experiment: str,
                fom_name: str, value: Any, units: str = "",
                manifest: Optional[Dict[str, Any]] = None) -> MetricRecord:
-        rec = MetricRecord(
+        return self._insert(MetricRecord(
             seq=next(self._seq),
             benchmark=benchmark,
             system=system,
@@ -71,11 +81,7 @@ class MetricsDatabase:
             value=value,
             units=units,
             manifest=dict(manifest or {}),
-        )
-        self._records.append(rec)
-        self._by_system_benchmark.setdefault((system, benchmark), []).append(rec)
-        self._by_system_experiment.setdefault((system, experiment), []).append(rec)
-        return rec
+        ))
 
     def ingest_analysis(self, system: str, analysis: Dict[str, Any]) -> int:
         """Load a Ramble ``results.latest.json`` payload; returns the number
@@ -164,9 +170,17 @@ class MetricsDatabase:
             pairs.append((x, y))
         return sorted(pairs)
 
-    def aggregate(self, fom_name: str, group_by: str = "system") -> Dict[str, Dict[str, float]]:
+    def aggregate(self, fom_name: str, group_by: str = "system",
+                  exclude_flaky: bool = True) -> Dict[str, Dict[str, float]]:
+        """Per-group summary statistics of one FOM.
+
+        Flaky (retried) samples are excluded by default, matching
+        :meth:`series` consumers and the regression detector — aggregate
+        statistics must not mix converged samples with ones measured while
+        the system was flapping.
+        """
         groups: Dict[str, List[float]] = {}
-        for rec in self.query(fom_name=fom_name):
+        for rec in self.query(fom_name=fom_name, exclude_flaky=exclude_flaky):
             try:
                 value = float(rec.value)
             except (TypeError, ValueError):
@@ -197,12 +211,28 @@ class MetricsDatabase:
 
     @classmethod
     def from_records(cls, records: List[Dict[str, Any]]) -> "MetricsDatabase":
+        """Rebuild a database from :meth:`to_records` output.
+
+        Original sequence numbers are preserved (a dump/load round trip is
+        the identity, not a re-numbering) and both secondary indexes are
+        rebuilt so indexed queries on the loaded database match a full scan.
+        """
         db = cls()
+        max_seq = 0
         for d in records:
-            db.record(
-                d["benchmark"], d["system"], d["experiment"], d["fom_name"],
-                d["value"], d.get("units", ""), d.get("manifest"),
-            )
+            seq = int(d["seq"]) if d.get("seq") is not None else next(db._seq)
+            max_seq = max(max_seq, seq)
+            db._insert(MetricRecord(
+                seq=seq,
+                benchmark=d["benchmark"],
+                system=d["system"],
+                experiment=d["experiment"],
+                fom_name=d["fom_name"],
+                value=d["value"],
+                units=d.get("units", ""),
+                manifest=dict(d.get("manifest") or {}),
+            ))
+        db._seq = itertools.count(max_seq + 1)
         return db
 
     def dump(self, path: Path | str) -> None:

@@ -21,6 +21,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro.analysis.engine import AnalysisEngine
 from repro.analysis.regression import RegressionDetector, RegressionEvent
 from repro.ci import MetricsDatabase
 from repro.perf import ContentStore, Profiler, fingerprint
@@ -95,6 +96,18 @@ class ContinuousBenchmarking:
         self.attempt_history: Dict[str, Dict[str, Any]] = {}
         if resume and self.checkpoint_path.exists():
             self._load_checkpoint()
+        #: incremental analysis over the accumulated history: the columnar
+        #: frame absorbs each epoch's appends in O(new) and per-series
+        #: detector states make the post-epoch regression scan O(new)
+        #: instead of a full history rescan — with events bit-identical to
+        #: the batch path (the engine's contract).  Built after any
+        #: checkpoint load so it wraps the restored database.
+        self.analysis = AnalysisEngine(
+            self.db,
+            threshold=self.detector.threshold,
+            window=self.detector.window,
+            profiler=self.profiler,
+        )
 
     @property
     def benchmark_name(self) -> str:
@@ -294,20 +307,17 @@ class ContinuousBenchmarking:
 
     # ------------------------------------------------------------------
     def regressions(self) -> List[RegressionEvent]:
-        """Scan the accumulated history for every tracked FOM."""
-        events: List[RegressionEvent] = []
-        for fom_name, higher_is_better in TRACKED_FOMS.get(
-            self.benchmark_name, []
-        ):
-            detector = RegressionDetector(
-                threshold=self.detector.threshold,
-                window=self.detector.window,
-                higher_is_better=higher_is_better,
-            )
-            events.extend(detector.detect_in_db(
-                self.db, self.benchmark_name, self.system_name, fom_name,
-            ))
-        return sorted(events, key=lambda e: e.epoch)
+        """Scan the accumulated history for every tracked FOM.
+
+        Runs through the analysis engine: per-FOM series fan out over a
+        thread pool and each consumes only samples recorded since its last
+        scan, so the per-epoch cost stays O(new) as history grows.
+        """
+        return self.analysis.scan([
+            (self.benchmark_name, self.system_name, fom_name, higher_is_better)
+            for fom_name, higher_is_better in TRACKED_FOMS.get(
+                self.benchmark_name, [])
+        ])
 
     def history(self, fom_name: str) -> List[tuple]:
         """(epoch, mean value) series for one FOM."""

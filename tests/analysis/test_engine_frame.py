@@ -1,0 +1,178 @@
+"""Columnar MetricsFrame: parity with the row-oriented database paths,
+zero-copy views, and partition-scoped invalidation on refresh."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_report
+from repro.analysis.engine import AnalysisEngine, MetricsFrame
+from repro.ci import MetricsDatabase
+
+
+def _populated():
+    db = MetricsDatabase()
+    for epoch in range(6):
+        for system in ("cts1", "tioga"):
+            for benchmark, fom in (("stream", "triad_bw"), ("saxpy", "bandwidth")):
+                for exp in ("a", "b"):
+                    value = 100.0 + epoch + (7.0 if system == "tioga" else 0.0)
+                    manifest = {"epoch": str(epoch), "nprocs": str(2 ** epoch)}
+                    if epoch == 2 and exp == "b":
+                        manifest["flaky"] = "true"
+                    db.record(benchmark, system, exp, fom, value, "GB/s",
+                              manifest)
+    # a non-numeric value and a record missing the epoch key: the frame must
+    # skip them exactly where the row paths do
+    db.record("stream", "cts1", "a", "triad_bw", "n/a", "", {"epoch": "1"})
+    db.record("stream", "cts1", "a", "triad_bw", 55.0, "GB/s", {})
+    return db
+
+
+class TestFrameParity:
+    def test_series_matches_database(self):
+        db = _populated()
+        frame = MetricsFrame(db)
+        for exclude in (False, True):
+            x, y = frame.series("stream", "cts1", "triad_bw", "epoch",
+                                exclude_flaky=exclude)
+            assert (list(zip(x.tolist(), y.tolist()))
+                    == db.series("stream", "cts1", "triad_bw", "epoch",
+                                 exclude_flaky=exclude))
+
+    def test_aggregate_matches_database(self):
+        db = _populated()
+        frame = MetricsFrame(db)
+        for exclude in (False, True):
+            assert (frame.aggregate("triad_bw", exclude_flaky=exclude)
+                    == db.aggregate("triad_bw", exclude_flaky=exclude))
+        assert (frame.aggregate("bandwidth", group_by="benchmark")
+                == db.aggregate("bandwidth", group_by="benchmark"))
+
+    def test_aggregate_by_manifest_key(self):
+        db = _populated()
+        frame = MetricsFrame(db)
+        assert (frame.aggregate("triad_bw", group_by="nprocs")
+                == db.aggregate("triad_bw", group_by="nprocs"))
+
+    def test_benchmark_usage_matches(self):
+        db = _populated()
+        assert MetricsFrame(db).benchmark_usage() == db.benchmark_usage()
+
+    def test_unknown_labels_are_empty_not_errors(self):
+        frame = MetricsFrame(_populated())
+        x, y = frame.series("ghost", "cts1", "triad_bw", "epoch")
+        assert x.size == 0 and y.size == 0
+        assert frame.aggregate("ghost_fom") == {}
+
+    def test_epoch_series_matches_detector_grouping(self):
+        db = _populated()
+        frame = MetricsFrame(db)
+        raw = db.series("stream", "tioga", "triad_bw", "epoch",
+                        exclude_flaky=True)
+        by_epoch = {}
+        for epoch, value in raw:
+            by_epoch.setdefault(epoch, []).append(value)
+        expected = [(e, float(np.mean(v))) for e, v in sorted(by_epoch.items())]
+        assert frame.epoch_series("stream", "tioga", "triad_bw") == expected
+
+
+class TestRefresh:
+    def test_appends_absorbed_incrementally(self):
+        db = _populated()
+        frame = MetricsFrame(db)
+        rows_before = len(frame)
+        assert frame.refresh() == ()  # no-op when nothing changed
+        db.record("stream", "cts1", "a", "triad_bw", 99.0, "GB/s",
+                  {"epoch": "9"})
+        touched = frame.refresh()
+        assert len(frame) == rows_before + 1
+        s = frame.pools["system"].lookup("cts1")
+        b = frame.pools["benchmark"].lookup("stream")
+        assert touched == ((s, b),)
+
+    def test_untouched_partitions_keep_their_generation(self):
+        db = _populated()
+        frame = MetricsFrame(db)
+        s_t = frame.pools["system"].lookup("tioga")
+        b_s = frame.pools["benchmark"].lookup("saxpy")
+        before = frame.partition_generation[(s_t, b_s)]
+        db.record("stream", "cts1", "a", "triad_bw", 1.0, "", {"epoch": "9"})
+        frame.refresh()
+        assert frame.partition_generation[(s_t, b_s)] == before
+
+    def test_generation_counter_tracks_appends(self):
+        db = MetricsDatabase()
+        assert db.generation == 0
+        db.record("stream", "cts1", "a", "triad_bw", 1.0)
+        assert db.generation == 1
+
+    def test_manifest_columns_extended_on_refresh(self):
+        db = _populated()
+        frame = MetricsFrame(db)
+        frame.manifest_column("epoch")  # materialize before the append
+        db.record("stream", "cts1", "a", "triad_bw", 42.0, "GB/s",
+                  {"epoch": "41"})
+        frame.refresh()
+        vals, ok = frame.manifest_column("epoch")
+        assert vals.size == len(frame)
+        assert vals[-1] == 41.0 and bool(ok[-1])
+
+
+class TestFrameView:
+    def test_filter_is_zero_copy(self):
+        frame = MetricsFrame(_populated())
+        view = frame.filter(system="cts1", benchmark="stream")
+        # the view holds row indices; the value column it reads through is
+        # the frame's own buffer, not a copy
+        assert np.shares_memory(frame.column("value"),
+                                frame._cols["value"]._buf)
+        assert len(view) == len(frame.partition_rows("cts1", "stream"))
+
+    def test_filters_compose(self):
+        frame = MetricsFrame(_populated())
+        view = frame.view().filter(system="cts1").filter(
+            benchmark="stream", exclude_flaky=True)
+        assert all(label == "cts1" for label in view.labels("system"))
+        assert not view.column("flaky").any()
+
+    def test_unknown_label_gives_empty_view(self):
+        frame = MetricsFrame(_populated())
+        assert len(frame.filter(system="ghost")) == 0
+
+    def test_groupby(self):
+        frame = MetricsFrame(_populated())
+        groups = frame.view().groupby("system")
+        assert set(groups) == {"cts1", "tioga"}
+        assert sum(len(v) for v in groups.values()) == len(frame)
+
+    def test_predicate_filter(self):
+        frame = MetricsFrame(_populated())
+        view = frame.filter(fom_name="triad_bw").filter(
+            predicate=lambda values: values > 104.0)
+        assert (view.values() > 104.0).all()
+
+    def test_to_pairs_matches_series(self):
+        db = _populated()
+        frame = MetricsFrame(db)
+        pairs = frame.filter(benchmark="stream", system="cts1",
+                             fom_name="triad_bw").to_pairs("epoch")
+        assert pairs == db.series("stream", "cts1", "triad_bw", "epoch")
+
+
+class TestEngineDashboard:
+    def test_identical_to_row_oriented_report(self):
+        db = _populated()
+        engine = AnalysisEngine(db)
+        assert engine.dashboard() == render_report(db)
+
+    def test_stays_identical_after_appends(self):
+        db = _populated()
+        engine = AnalysisEngine(db)
+        engine.dashboard()
+        db.record("quicksilver", "sierra", "q0", "fom_segments", 7.5, "seg/s",
+                  {"epoch": "0"})
+        assert engine.dashboard() == render_report(db)
+
+    def test_empty_database(self):
+        db = MetricsDatabase()
+        assert AnalysisEngine(db).dashboard() == render_report(db)

@@ -1,0 +1,235 @@
+"""Incremental regression state vs. batch recomputation — the equivalence
+is bit-identical (dataclass equality over float fields), not approximate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    OnlineStats,
+    RegressionDetector,
+    SeriesState,
+)
+from repro.analysis.engine import AnalysisEngine
+from repro.ci import MetricsDatabase
+
+
+def _history(n_epochs=16, step_at=10, noise=0.03):
+    """Deterministic noisy series with a 20% step regression."""
+    rng = np.random.default_rng(42)
+    series = []
+    for epoch in range(n_epochs):
+        base = 100.0 if epoch < step_at else 80.0
+        for _ in range(3):
+            series.append((float(epoch), base * (1 + noise * rng.standard_normal())))
+    return series
+
+
+def _batch(det, series, metric="m"):
+    """The row-oriented reference: group raw samples per epoch exactly as
+    detect_in_db does, then run the batch detector."""
+    by_epoch = {}
+    for epoch, value in sorted(series):
+        by_epoch.setdefault(epoch, []).append(value)
+    grouped = [(e, float(np.mean(v))) for e, v in sorted(by_epoch.items())]
+    return det.detect(grouped, metric)
+
+
+class TestBitIdentity:
+    def test_one_shot_equals_batch(self):
+        det = RegressionDetector(threshold=0.10, window=3)
+        series = _history()
+        state = det.make_state()
+        state.extend(series)
+        assert state.events("m") == _batch(det, series)
+
+    @pytest.mark.parametrize("chunk", [1, 2, 3, 5, 7])
+    def test_chunked_feed_equals_batch(self, chunk):
+        det = RegressionDetector(threshold=0.10, window=3)
+        series = _history()
+        state = det.make_state()
+        for i in range(0, len(series), chunk):
+            state.extend(series[i:i + chunk])
+            # at every intermediate point the state equals a full rescan of
+            # everything fed so far
+            assert state.events("m") == _batch(det, series[:i + chunk])
+
+    def test_late_samples_for_old_epochs(self):
+        # a sample arriving for an already-scored epoch must shift the
+        # affected suffix exactly as a batch rescan would
+        det = RegressionDetector(threshold=0.10, window=3)
+        series = _history()
+        late = [(2.0, 60.0), (11.0, 95.0)]
+        state = det.make_state()
+        state.extend(series)
+        state.extend(late)
+        assert state.events("m") == _batch(det, series + late)
+
+    def test_lower_is_better_metrics(self):
+        det = RegressionDetector(threshold=0.10, window=2,
+                                 higher_is_better=False)
+        series = [(float(e), 10.0 if e < 6 else 13.0) for e in range(12)]
+        state = det.make_state()
+        for pair in series:
+            state.extend([pair])
+        events = state.events("walltime")
+        assert events == det.detect(series, "walltime")
+        assert len(events) == 1 and events[0].ratio > 1.0
+
+    def test_short_series_reports_nothing(self):
+        det = RegressionDetector(window=3)
+        state = det.make_state()
+        state.extend([(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)])
+        assert state.events() == []
+
+    def test_detect_incremental_helper(self):
+        det = RegressionDetector(threshold=0.10, window=3)
+        series = _history()
+        state = det.make_state()
+        events = det.detect_incremental(state, series, "m")
+        assert events == _batch(det, series)
+
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=12),
+                  st.floats(min_value=1.0, max_value=200.0,
+                            allow_nan=False, allow_infinity=False)),
+        min_size=0, max_size=40),
+        st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_property_random_feeds(self, pairs, window):
+        det = RegressionDetector(threshold=0.10, window=window)
+        series = [(float(e), v) for e, v in pairs]
+        state = det.make_state()
+        state.extend(series)
+        assert state.events("m") == _batch(det, series)
+        by_epoch = {}
+        for e, v in sorted(series):
+            by_epoch.setdefault(e, []).append(v)
+        expected = [(e, float(np.mean(v))) for e, v in sorted(by_epoch.items())]
+        assert state.series() == expected
+
+
+class TestEngineScanParity:
+    TARGETS = [("stream", "cts1", "triad_bw", True),
+               ("stream", "tioga", "triad_bw", True),
+               ("saxpy", "cts1", "walltime", False)]
+
+    def _record_epoch(self, db, epoch):
+        rng = np.random.default_rng(1000 + epoch)
+        for benchmark, system, fom, hib in self.TARGETS:
+            base = 100.0 if hib else 10.0
+            if epoch >= 9:
+                base *= 0.8 if hib else 1.3
+            for exp in ("a", "b"):
+                manifest = {"epoch": str(epoch)}
+                if epoch == 4 and exp == "b":
+                    manifest["flaky"] = "true"
+                db.record(benchmark, system, exp, fom,
+                          base * (1 + 0.02 * rng.standard_normal()),
+                          "u", manifest)
+
+    def test_scan_equals_batch_after_every_epoch(self):
+        db = MetricsDatabase()
+        engine = AnalysisEngine(db, threshold=0.10, window=3)
+        det = RegressionDetector(threshold=0.10, window=3)
+        det_lib = RegressionDetector(threshold=0.10, window=3,
+                                     higher_is_better=False)
+        for epoch in range(14):
+            self._record_epoch(db, epoch)
+            got = engine.scan(self.TARGETS)
+            expected = []
+            for benchmark, system, fom, hib in self.TARGETS:
+                d = det if hib else det_lib
+                expected.extend(d.detect_in_db(db, benchmark, system, fom))
+            assert got == sorted(expected, key=lambda e: e.epoch)
+        assert got  # the injected step was actually reported
+
+    def test_detect_consumes_each_sample_once(self):
+        db = MetricsDatabase()
+        engine = AnalysisEngine(db, threshold=0.10, window=3)
+        for epoch in range(12):
+            self._record_epoch(db, epoch)
+        engine.scan(self.TARGETS)
+        state = engine._state(("stream", "cts1", "triad_bw", True))
+        seen = state.samples_seen
+        engine.scan(self.TARGETS)  # no new data: nothing re-absorbed
+        assert state.samples_seen == seen
+
+    def test_series_summary_is_welford_over_raw_samples(self):
+        db = MetricsDatabase()
+        engine = AnalysisEngine(db, threshold=0.10, window=3)
+        for epoch in range(6):
+            self._record_epoch(db, epoch)
+        engine.scan(self.TARGETS)
+        summary = engine.series_summary("stream", "cts1", "triad_bw")
+        raw = [v for _, v in db.series("stream", "cts1", "triad_bw", "epoch",
+                                       exclude_flaky=True)]
+        assert summary["count"] == len(raw)
+        assert summary["mean"] == pytest.approx(np.mean(raw))
+        assert summary["std"] == pytest.approx(np.std(raw))
+
+    def test_profiler_records_stage_timings(self):
+        db = MetricsDatabase()
+        engine = AnalysisEngine(db, threshold=0.10, window=3)
+        for epoch in range(8):
+            self._record_epoch(db, epoch)
+        engine.scan(self.TARGETS)
+        engine.dashboard()
+        stages = set(engine.profiler.stages())
+        assert {"analysis:refresh", "analysis:detect", "analysis:scan",
+                "analysis:dashboard"} <= stages
+
+
+class TestOnlineStats:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(7)
+        data = rng.normal(50.0, 4.0, size=257)
+        stats = OnlineStats()
+        for value in data:
+            stats.push(float(value))
+        assert stats.count == data.size
+        assert stats.mean == pytest.approx(np.mean(data), rel=1e-12)
+        assert stats.variance() == pytest.approx(np.var(data), rel=1e-9)
+        assert stats.variance(ddof=1) == pytest.approx(np.var(data, ddof=1),
+                                                       rel=1e-9)
+        assert stats.std() == pytest.approx(np.std(data), rel=1e-9)
+
+    def test_merge_equals_single_stream(self):
+        rng = np.random.default_rng(11)
+        a, b = rng.normal(size=100), rng.normal(size=37) + 5.0
+        left, right, whole = OnlineStats(), OnlineStats(), OnlineStats()
+        for v in a:
+            left.push(float(v))
+            whole.push(float(v))
+        for v in b:
+            right.push(float(v))
+            whole.push(float(v))
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert left.variance() == pytest.approx(whole.variance(), rel=1e-9)
+
+    def test_merge_with_empty(self):
+        stats = OnlineStats()
+        stats.push(3.0)
+        stats.merge(OnlineStats())
+        assert (stats.count, stats.mean) == (1, 3.0)
+        empty = OnlineStats()
+        empty.merge(stats)
+        assert (empty.count, empty.mean) == (1, 3.0)
+
+    def test_degenerate(self):
+        stats = OnlineStats()
+        assert stats.variance() == 0.0
+        stats.push(2.0)
+        assert stats.variance(ddof=1) == 0.0
+
+
+class TestStateValidation:
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            SeriesState(threshold=1.5)
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError, match="window"):
+            SeriesState(window=0)

@@ -1,0 +1,85 @@
+"""Memoized Extra-P fits: the cache must be invisible except for speed —
+identical model strings, copy-safe returns, fingerprint-keyed hits."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.extrap import (
+    Measurement,
+    clear_model_cache,
+    fit_model,
+    fit_multi_term_model,
+    model_cache,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_model_cache()
+    yield
+    clear_model_cache()
+
+
+def _linear(n=6):
+    return [Measurement(p, -0.64 + 0.047 * p)
+            for p in (2, 8, 32, 128, 512, 2048)[:n]]
+
+
+class TestModelCache:
+    def test_refit_hits(self):
+        fit_model(_linear())
+        before = model_cache().hits
+        fit_model(_linear())
+        assert model_cache().hits == before + 1
+
+    def test_cached_model_identical_to_fresh(self):
+        first = fit_model(_linear())
+        cached = fit_model(_linear())
+        assert str(cached) == str(first)
+        assert (cached.c0, cached.c1, cached.i, cached.j) == \
+            (first.c0, first.c1, first.i, first.j)
+        clear_model_cache()
+        fresh = fit_model(_linear())
+        assert str(fresh) == str(first)
+
+    def test_different_series_miss(self):
+        fit_model(_linear())
+        misses = model_cache().misses
+        fit_model([Measurement(p, 2.0 * p) for p in (2, 4, 8, 16)])
+        assert model_cache().misses == misses + 1
+
+    def test_tuple_and_measurement_inputs_share_entries(self):
+        fit_model([(2.0, 1.0), (4.0, 2.0), (8.0, 4.0)])
+        before = model_cache().hits
+        fit_model([Measurement(2.0, 1.0), Measurement(4.0, 2.0),
+                   Measurement(8.0, 4.0)])
+        assert model_cache().hits == before + 1
+
+    def test_mutating_returned_model_does_not_poison_cache(self):
+        model = fit_model(_linear())
+        model.c0 = 12345.0
+        model.measurements.clear()
+        again = fit_model(_linear())
+        assert again.c0 != 12345.0
+        assert again.measurements
+
+    def test_multi_term_cached_separately(self):
+        ps = [2, 4, 8, 16, 32, 64, 256, 1024]
+        ms = [Measurement(p, 1.0 + 2.0 * p + 30.0 * np.log2(p)) for p in ps]
+        single = fit_model(ms)
+        multi = fit_multi_term_model(ms)
+        assert len(multi.terms) == 2 and not single.is_constant
+        before = model_cache().hits
+        again = fit_multi_term_model(ms)
+        assert model_cache().hits == before + 1
+        assert str(again) == str(multi)
+        again.terms.clear()
+        assert fit_multi_term_model(ms).terms
+
+    def test_exponent_space_part_of_key(self):
+        ms = _linear()
+        restricted = fit_model(ms, exponents=[(1.0, 0)])
+        full = fit_model(ms)
+        assert model_cache().hits == 0  # two different keys, no collisions
+        assert (restricted.i, restricted.j) == (1.0, 0)
+        assert str(full)  # both entries usable

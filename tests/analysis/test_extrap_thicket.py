@@ -65,9 +65,30 @@ class TestExtrapFitting:
         assert model.i == 1.0
         assert model.c1 == pytest.approx(1.0, rel=0.05)
 
-    def test_too_few_points(self):
-        with pytest.raises(ValueError, match="3 distinct"):
-            fit_model([Measurement(2, 1.0), Measurement(4, 2.0)])
+    def test_too_few_points_falls_back_to_constant(self):
+        # Degenerate series (fewer than 3 distinct process counts) resolve
+        # to the constant model instead of raising: continuous pipelines
+        # fit whatever history exists.
+        model = fit_model([Measurement(2, 1.0), Measurement(4, 2.0)])
+        assert model.is_constant
+        assert model.c0 == pytest.approx(1.5)
+
+    def test_single_point_is_constant(self):
+        model = fit_model([Measurement(8, 3.0)])
+        assert model.is_constant
+        np.testing.assert_allclose(model.predict([1, 64]), 3.0)
+
+    def test_repeated_x_values_are_constant(self):
+        # All measurements at one process count: the design matrix would be
+        # rank-deficient; the mean is the only defensible model.
+        model = fit_model([Measurement(4, 1.0), Measurement(4, 3.0),
+                           Measurement(4, 5.0)])
+        assert model.is_constant
+        assert model.c0 == pytest.approx(3.0)
+
+    def test_no_measurements_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            fit_model([])
 
     def test_nonpositive_p_rejected(self):
         with pytest.raises(ValueError, match="positive"):
@@ -151,6 +172,21 @@ class TestThicket:
     def test_stats_unknown_region(self):
         with pytest.raises(ThicketError, match="absent"):
             self._ensemble().stats("MPI_Allreduce")
+
+    def test_metric_unknown_region_names_alternatives(self):
+        # the error names both the missing region and what does exist
+        with pytest.raises(ThicketError, match="MPI_Allreduce.*MPI_Bcast"):
+            self._ensemble().metric("MPI_Allreduce")
+
+    def test_stats_frame_matches_per_region_stats(self):
+        ens = self._ensemble()
+        frame = ens.stats_frame()
+        for region in ens.region_names():
+            expected = ens.stats(region)
+            got = frame[region]
+            assert got["count"] == expected["count"]
+            for key in ("mean", "std", "min", "max"):
+                assert got[key] == pytest.approx(expected[key])
 
     def test_model_scaling_figure14_pipeline(self):
         """Thicket → Extra-P bridge recovers the linear bcast model."""

@@ -57,3 +57,41 @@ class TestIndexedQuery:
         assert (len(rebuilt.query(system="cts1", benchmark="amg2023"))
                 == len(db.query(system="cts1", benchmark="amg2023")))
         assert rebuilt._by_system_benchmark.keys() == db._by_system_benchmark.keys()
+
+    def test_dump_load_round_trip_queries_indexed_path(self, tmp_path):
+        """A dump/load cycle must be the identity: sequence numbers
+        preserved, both secondary indexes rebuilt, and indexed queries on
+        the loaded database identical to the original's."""
+        db = _populated()
+        path = tmp_path / "metrics.json"
+        db.dump(path)
+        loaded = MetricsDatabase.load(path)
+        assert loaded.to_records() == db.to_records()  # seq preserved
+        # the (system, benchmark) indexed path
+        for system in ("cts1", "tioga", "sierra"):
+            for benchmark in ("stream", "amg2023"):
+                assert (loaded.query(system=system, benchmark=benchmark)
+                        == db.query(system=system, benchmark=benchmark))
+        # the (system, experiment) indexed path
+        assert (loaded.query(system="sierra", experiment="stream_exp1")
+                == db.query(system="sierra", experiment="stream_exp1"))
+        # indexes actually contain the records (not just lazily equal)
+        assert set(loaded._by_system_experiment) == set(db._by_system_experiment)
+        # new records continue the sequence instead of colliding
+        rec = loaded.record("stream", "cts1", "x", "total_time", 1.0)
+        assert rec.seq == max(r.seq for r in db._records) + 1
+
+    def test_aggregate_skips_flaky_records(self):
+        """aggregate must exclude flaky-tagged samples like series() and the
+        regression detector do — one statistics policy across the API."""
+        db = MetricsDatabase()
+        db.record("stream", "cts1", "e0", "triad_bw", 100.0)
+        db.record("stream", "cts1", "e1", "triad_bw", 100.0)
+        db.record("stream", "cts1", "e2", "triad_bw", 10.0,
+                  manifest={"flaky": "true", "attempts": "3"})
+        agg = db.aggregate("triad_bw", group_by="system")
+        assert agg["cts1"]["count"] == 2
+        assert agg["cts1"]["mean"] == 100.0
+        # opt back in to the raw view when wanted
+        raw = db.aggregate("triad_bw", group_by="system", exclude_flaky=False)
+        assert raw["cts1"]["count"] == 3
